@@ -1,0 +1,48 @@
+"""Fig. 4: the branching extraction of the running example.
+
+The paper illustrates Scheme 2 on the 3-bit IQPE circuit for ``U = p(3*pi/8)``
+and the eigenstate |1>: three checkpoints (measurements), check-pointed
+probabilities of roughly 1/2, 0.85/0.15 and 0.96/0.04, and e.g.
+``P(|001>) = 1/2 * 0.85 * 0.96 ~ 0.408``.  These benchmarks time the
+extraction on both backends and assert the quantitative shape of the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import iterative_qpe, running_example_lambda
+from repro.core import extract_distribution
+
+NUM_BITS = 3
+
+
+def _assert_figure4_shape(result) -> None:
+    # The two most probable outcomes are |001> and |010> (Example 1).
+    ordered = sorted(result.distribution, key=result.distribution.get, reverse=True)
+    assert set(ordered[:2]) == {"001", "010"}
+    # P(|001>) ~ 0.41 (the paper quotes 0.408 from rounded checkpoint values).
+    assert result.probability("001") == pytest.approx(0.411, abs=0.01)
+    # Marginal of the first measured bit is exactly 1/2 (first checkpoint of Fig. 4).
+    first_bit_one = sum(v for k, v in result.distribution.items() if k[-1] == "1")
+    assert first_bit_one == pytest.approx(0.5, abs=1e-9)
+    assert result.total_probability() == pytest.approx(1.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("backend", ["statevector", "dd"])
+def test_fig4_running_example_extraction(benchmark, backend):
+    circuit = iterative_qpe(NUM_BITS, running_example_lambda)
+    result = benchmark(lambda: extract_distribution(circuit, backend=backend))
+    _assert_figure4_shape(result)
+    benchmark.extra_info["num_paths"] = result.num_paths
+    benchmark.extra_info["num_branch_points"] = result.num_branch_points
+
+
+@pytest.mark.parametrize("num_bits", [3, 4, 5, 6])
+def test_fig4_scaling_with_precision(benchmark, num_bits):
+    """The branching tree grows with the number of precision bits, but pruning
+    keeps the number of surviving paths far below 2**m."""
+    circuit = iterative_qpe(num_bits, running_example_lambda)
+    result = benchmark(lambda: extract_distribution(circuit, backend="statevector"))
+    assert result.num_paths <= 2**num_bits
+    benchmark.extra_info["num_paths"] = result.num_paths

@@ -1,0 +1,82 @@
+"""Table 1, Bernstein-Vazirani block.
+
+For each instance size the paper reports four runtimes: the transformation of
+the dynamic circuit (t_trans), the full functional verification against the
+static circuit (t_ver), the extraction of the measurement-outcome distribution
+from the dynamic circuit (t_extract), and the classical simulation of the
+static circuit (t_sim).  The qualitative claims to reproduce are
+
+* t_trans is negligible compared to t_ver, and
+* t_extract is *smaller* than t_sim because the BV state is sparse (a single
+  path survives the branching).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from bench_common import sizes_for
+from repro.algorithms import bernstein_vazirani_dynamic, bernstein_vazirani_static
+from repro.core import check_equivalence, extract_distribution, to_unitary_circuit
+from repro.simulators import DDSimulator
+
+SIZES = sizes_for("bv")
+
+
+def _hidden_string(num_bits: int) -> str:
+    rng = random.Random(num_bits)
+    return "".join(rng.choice("01") for _ in range(num_bits)) or "1"
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    pairs = {}
+    for size in SIZES:
+        hidden = _hidden_string(size)
+        pairs[size] = (bernstein_vazirani_static(hidden), bernstein_vazirani_dynamic(hidden), hidden)
+    return pairs
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bv_transformation(benchmark, circuits, size):
+    """t_trans: unitary reconstruction of the dynamic BV circuit."""
+    _, dynamic, _ = circuits[size]
+    result = benchmark(lambda: to_unitary_circuit(dynamic))
+    assert result.circuit.num_qubits == size + 1
+    benchmark.extra_info["n_static"] = size + 1
+    benchmark.extra_info["added_qubits"] = result.num_added_qubits
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bv_full_functional_verification(benchmark, circuits, size):
+    """t_ver: equivalence check of static vs. (transformed) dynamic BV."""
+    static, dynamic, _ = circuits[size]
+    result = benchmark(lambda: check_equivalence(static, dynamic))
+    assert result.equivalent
+    benchmark.extra_info["gates_static"] = static.size
+    benchmark.extra_info["gates_dynamic"] = dynamic.size
+    benchmark.extra_info["max_dd_nodes"] = result.details.get("max_nodes")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bv_extraction(benchmark, circuits, size):
+    """t_extract: measurement-outcome distribution of the dynamic BV circuit."""
+    _, dynamic, hidden = circuits[size]
+    result = benchmark(lambda: extract_distribution(dynamic, backend="dd"))
+    assert result.probability(hidden) == pytest.approx(1.0, abs=1e-9)
+    benchmark.extra_info["num_paths"] = result.num_paths
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bv_static_simulation(benchmark, circuits, size):
+    """t_sim: classical (DD) simulation of the static BV circuit."""
+    static, _, hidden = circuits[size]
+    state = benchmark(lambda: DDSimulator().run(static))
+    # The data register holds the hidden string with certainty; the ancilla
+    # (qubit 0, last character of the bitstring key) remains in |->.
+    probabilities = state.probabilities_dict()
+    assert sum(value for key, value in probabilities.items() if key[:-1] == hidden) == pytest.approx(
+        1.0, abs=1e-9
+    )

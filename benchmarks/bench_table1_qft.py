@@ -1,0 +1,60 @@
+"""Table 1, Quantum Fourier Transform block.
+
+Qualitative claims to reproduce:
+
+* full functional verification of the QFT pair stays cheap and scales
+  gracefully with the number of qubits, while
+* the extraction scheme blows up — the QFT of |0...0> is *dense* (every
+  outcome has probability 1/2^n), so the number of simulation paths doubles
+  with every added qubit, and the runtime roughly doubles per qubit as the
+  paper observes.  For this family Scheme 1 is the right tool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import sizes_for
+from repro.algorithms import qft_dynamic, qft_static_benchmark
+from repro.core import check_equivalence, extract_distribution, to_unitary_circuit
+from repro.simulators import DDSimulator
+
+SIZES = sizes_for("qft")
+EXTRACT_SIZES = sizes_for("qft_extract")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_qft_transformation(benchmark, size):
+    """t_trans: unitary reconstruction of the dynamic (single-qubit) QFT."""
+    dynamic = qft_dynamic(size)
+    result = benchmark(lambda: to_unitary_circuit(dynamic))
+    assert result.circuit.num_qubits == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_qft_full_functional_verification(benchmark, size):
+    """t_ver: equivalence check of static vs. (transformed) dynamic QFT."""
+    static = qft_static_benchmark(size)
+    dynamic = qft_dynamic(size)
+    result = benchmark(lambda: check_equivalence(static, dynamic))
+    assert result.equivalent
+    benchmark.extra_info["gates_static"] = static.size
+    benchmark.extra_info["gates_dynamic"] = dynamic.size
+    benchmark.extra_info["max_dd_nodes"] = result.details.get("max_nodes")
+
+
+@pytest.mark.parametrize("size", EXTRACT_SIZES)
+def test_qft_extraction(benchmark, size):
+    """t_extract: the dense outcome distribution forces 2**n simulation paths."""
+    dynamic = qft_dynamic(size)
+    result = benchmark(lambda: extract_distribution(dynamic, backend="statevector"))
+    assert result.num_paths == 2**size
+    benchmark.extra_info["num_paths"] = result.num_paths
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_qft_static_simulation(benchmark, size):
+    """t_sim: classical (DD) simulation of the static QFT circuit."""
+    static = qft_static_benchmark(size)
+    state = benchmark(lambda: DDSimulator().run(static))
+    assert state.num_qubits == size

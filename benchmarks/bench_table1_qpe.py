@@ -1,0 +1,58 @@
+"""Table 1, Quantum Phase Estimation block (the paper's running example).
+
+Qualitative claims to reproduce:
+
+* t_trans stays negligible while t_ver grows quickly with the number of
+  precision bits (the reconstructed unitary involves all counting qubits), and
+* t_extract stays tiny and is far below t_sim of the static circuit, because
+  the IQPE outcome distribution is extremely sparse (at most a handful of
+  paths survive the pruning).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import sizes_for
+from repro.algorithms import iterative_qpe, qpe_static, running_example_lambda
+from repro.core import check_equivalence, extract_distribution, to_unitary_circuit
+from repro.simulators import DDSimulator
+
+SIZES = sizes_for("qpe")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_qpe_transformation(benchmark, size):
+    """t_trans: unitary reconstruction of the iterative QPE circuit."""
+    dynamic = iterative_qpe(size, running_example_lambda)
+    result = benchmark(lambda: to_unitary_circuit(dynamic))
+    assert result.circuit.num_qubits == size + 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_qpe_full_functional_verification(benchmark, size):
+    """t_ver: equivalence check of static QPE vs. (transformed) iterative QPE."""
+    static = qpe_static(size, running_example_lambda)
+    dynamic = iterative_qpe(size, running_example_lambda)
+    result = benchmark(lambda: check_equivalence(static, dynamic))
+    assert result.equivalent
+    benchmark.extra_info["gates_static"] = static.size
+    benchmark.extra_info["gates_dynamic"] = dynamic.size
+    benchmark.extra_info["max_dd_nodes"] = result.details.get("max_nodes")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_qpe_extraction(benchmark, size):
+    """t_extract: outcome distribution of the iterative QPE circuit."""
+    dynamic = iterative_qpe(size, running_example_lambda)
+    result = benchmark(lambda: extract_distribution(dynamic, backend="dd"))
+    assert result.total_probability() == pytest.approx(1.0, abs=1e-9)
+    benchmark.extra_info["num_paths"] = result.num_paths
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_qpe_static_simulation(benchmark, size):
+    """t_sim: classical (DD) simulation of the static QPE circuit."""
+    static = qpe_static(size, running_example_lambda)
+    state = benchmark(lambda: DDSimulator().run(static))
+    assert state.num_qubits == size + 1

@@ -1,0 +1,111 @@
+"""Regenerate Table 1 of the paper as a single text table.
+
+Usage::
+
+    python benchmarks/table1.py            # scaled-down default sizes
+    REPRO_SCALE=large python benchmarks/table1.py
+    REPRO_SCALE=paper python benchmarks/table1.py   # original sizes (very slow in pure Python)
+
+For every instance the script reports the same columns as the paper:
+``n``/``|G|`` of the static and the dynamic circuit, the transformation time
+``t_trans``, the verification time ``t_ver`` (full functional verification of
+static vs. reconstructed dynamic circuit), the extraction time ``t_extract``
+(Scheme 2 on the dynamic circuit) and the simulation time ``t_sim`` (classical
+simulation of the static circuit).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_common import SCALE, sizes_for  # noqa: E402
+
+from repro.algorithms import (  # noqa: E402
+    bernstein_vazirani_dynamic,
+    bernstein_vazirani_static,
+    iterative_qpe,
+    qft_dynamic,
+    qft_static_benchmark,
+    qpe_static,
+    running_example_lambda,
+)
+from repro.core import check_equivalence, extract_distribution, to_unitary_circuit  # noqa: E402
+from repro.simulators import DDSimulator  # noqa: E402
+
+HEADER = (
+    f"{'benchmark':<22} {'n_st':>5} {'|G|_st':>7} {'n_dyn':>6} {'|G|_dyn':>8} "
+    f"{'t_trans[s]':>11} {'t_ver[s]':>10} {'t_extract[s]':>13} {'t_sim[s]':>10}"
+)
+
+
+def _timed(function):
+    start = time.perf_counter()
+    value = function()
+    return value, time.perf_counter() - start
+
+
+def run_instance(name: str, static, dynamic, *, extract: bool = True) -> str:
+    transformation, t_trans = _timed(lambda: to_unitary_circuit(dynamic))
+    verification, t_ver = _timed(lambda: check_equivalence(static, transformation.circuit))
+    if not verification.equivalent:
+        raise RuntimeError(f"{name}: verification unexpectedly failed")
+    if extract:
+        _, t_extract = _timed(lambda: extract_distribution(dynamic, backend="dd"))
+        t_extract_text = f"{t_extract:13.4f}"
+    else:
+        t_extract_text = f"{'—':>13}"
+    _, t_sim = _timed(lambda: DDSimulator().run(static))
+    return (
+        f"{name:<22} {static.num_qubits:>5} {static.size:>7} {dynamic.num_qubits:>6} "
+        f"{dynamic.size:>8} {t_trans:11.4f} {t_ver:10.4f} {t_extract_text} {t_sim:10.4f}"
+    )
+
+
+def main() -> None:
+    print(f"Table 1 reproduction (REPRO_SCALE={SCALE})")
+    print(HEADER)
+    print("-" * len(HEADER))
+
+    print("# Bernstein-Vazirani")
+    for size in sizes_for("bv"):
+        rng = random.Random(size)
+        hidden = "".join(rng.choice("01") for _ in range(size)) or "1"
+        print(
+            run_instance(
+                f"bv_{size}",
+                bernstein_vazirani_static(hidden),
+                bernstein_vazirani_dynamic(hidden),
+            )
+        )
+
+    print("# Quantum Fourier Transform")
+    extract_sizes = set(sizes_for("qft_extract"))
+    for size in sizes_for("qft"):
+        print(
+            run_instance(
+                f"qft_{size}",
+                qft_static_benchmark(size),
+                qft_dynamic(size),
+                extract=size in extract_sizes,
+            )
+        )
+
+    print("# Quantum Phase Estimation")
+    for size in sizes_for("qpe"):
+        print(
+            run_instance(
+                f"qpe_{size}",
+                qpe_static(size, running_example_lambda),
+                iterative_qpe(size, running_example_lambda),
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Pytest bootstrap.
+
+Ensures that ``src/`` is importable even when the package has not been
+installed (useful on offline machines where ``pip install -e .`` cannot build
+editable wheels).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

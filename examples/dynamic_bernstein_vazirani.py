@@ -1,0 +1,48 @@
+"""Bernstein-Vazirani with two qubits: verifying a qubit-reuse optimization.
+
+The dynamic BV realization re-uses a single work qubit via mid-circuit
+measurement and reset, shrinking an (n+1)-qubit circuit to 2 qubits.  This
+example verifies (for a moderately large hidden string) that the dynamic
+realization is fully functionally equivalent to the static circuit, and that
+it produces the hidden string with certainty.
+
+Run with ``python examples/dynamic_bernstein_vazirani.py``.
+"""
+
+import random
+import time
+
+from repro.algorithms import bernstein_vazirani_dynamic, bernstein_vazirani_static
+from repro.core import check_equivalence, extract_distribution
+
+
+def main() -> None:
+    rng = random.Random(2022)
+    hidden = "".join(rng.choice("01") for _ in range(24))
+    print(f"hidden string s = {hidden} ({len(hidden)} bits)")
+
+    static = bernstein_vazirani_static(hidden)
+    dynamic = bernstein_vazirani_dynamic(hidden)
+    print("static :", static.summary())
+    print("dynamic:", dynamic.summary())
+    print()
+
+    start = time.perf_counter()
+    result = check_equivalence(static, dynamic)
+    elapsed = time.perf_counter() - start
+    print(f"Full functional verification: {result.criterion.value} in {elapsed:.3f}s")
+    print(f"  t_trans = {result.time_transformation:.5f}s, t_ver = {result.time_check:.3f}s")
+    print()
+
+    extraction = extract_distribution(dynamic, backend="dd")
+    print(
+        f"Extraction scheme: {extraction.num_paths} surviving path(s), "
+        f"{extraction.num_pruned} pruned, t_extract = {extraction.time_taken:.5f}s"
+    )
+    print("Extracted distribution:", extraction.distribution)
+    recovered = max(extraction.distribution, key=extraction.distribution.get)
+    print("Recovered hidden string:", recovered, "(correct)" if recovered == hidden else "(WRONG)")
+
+
+if __name__ == "__main__":
+    main()

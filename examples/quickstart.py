@@ -1,0 +1,59 @@
+"""Quickstart: build circuits, check equivalence, handle dynamic circuits.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import QuantumCircuit, check_behavioural_equivalence, check_equivalence
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Two static realizations of the same functionality.
+    # ------------------------------------------------------------------
+    direct = QuantumCircuit(2, name="swap_gate")
+    direct.swap(0, 1)
+
+    decomposed = QuantumCircuit(2, name="swap_from_cnots")
+    decomposed.cx(0, 1)
+    decomposed.cx(1, 0)
+    decomposed.cx(0, 1)
+
+    result = check_equivalence(direct, decomposed)
+    print("SWAP vs. 3 CNOTs:", result.criterion.value)
+
+    # ------------------------------------------------------------------
+    # 2. A dynamic circuit: mid-circuit measurement, reset, classical control.
+    # ------------------------------------------------------------------
+    dynamic = QuantumCircuit(1, 2, name="dynamic")
+    dynamic.h(0)
+    dynamic.measure(0, 0)          # mid-circuit measurement
+    dynamic.reset(0)               # reset, so the qubit can be re-used
+    dynamic.x(0, condition=(0, 1))  # classically-controlled operation
+    dynamic.measure(0, 1)
+
+    static = QuantumCircuit(2, 2, name="static_counterpart")
+    static.h(0)
+    static.cx(0, 1)
+    static.measure(0, 0)
+    static.measure(1, 1)
+
+    # Scheme 1: transform the dynamic circuit to a unitary one and compare.
+    functional = check_equivalence(static, dynamic)
+    print("dynamic vs. static (full functional verification):", functional.criterion.value)
+    print(f"  t_trans = {functional.time_transformation:.6f}s, t_ver = {functional.time_check:.6f}s")
+
+    # Scheme 2: compare the measurement-outcome distributions for input |0...0>.
+    behavioural = check_behavioural_equivalence(static, dynamic)
+    print("dynamic vs. static (fixed-input behaviour):", behavioural.criterion.value)
+    print("  distribution:", behavioural.details["distribution_second"])
+
+    # ------------------------------------------------------------------
+    # 3. A negative example: a broken "optimization" is detected.
+    # ------------------------------------------------------------------
+    broken = decomposed.copy(name="broken")
+    broken.z(0)
+    print("broken circuit:", check_equivalence(direct, broken).criterion.value)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` also works on
+offline machines whose setuptools/wheel combination cannot build PEP 660
+editable wheels (it falls back to the legacy ``setup.py develop`` path).  The
+console-script entry point is repeated here because the legacy path does not
+read ``[project.scripts]`` from ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["repro-qcec = repro.cli:main"]},
+)

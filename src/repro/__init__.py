@@ -1,0 +1,68 @@
+"""repro — Handling Non-Unitaries in Quantum Circuit Equivalence Checking.
+
+A from-scratch Python reproduction of Burgholzer & Wille, DAC 2022
+(arXiv:2106.01099).  The package contains:
+
+* :mod:`repro.circuit` — a quantum circuit IR with dynamic-circuit primitives
+  (mid-circuit measurement, reset, classically-controlled operations),
+* :mod:`repro.dd` — a decision-diagram (QMDD) engine,
+* :mod:`repro.simulators` — statevector, decision-diagram, density-matrix and
+  stochastic simulation backends,
+* :mod:`repro.core` — the equivalence-checking engine plus the paper's two
+  schemes (unitary reconstruction and distribution extraction),
+* :mod:`repro.algorithms` — the benchmark algorithms (Bernstein-Vazirani, QFT,
+  QPE) in static and dynamic form,
+* :mod:`repro.compilation` — a small compilation stack used for the
+  "verification of compilation results" use case.
+
+Quickstart
+----------
+>>> from repro import QuantumCircuit, check_equivalence
+>>> a = QuantumCircuit(2); _ = a.h(0); _ = a.cx(0, 1)
+>>> b = QuantumCircuit(2); _ = b.h(0); _ = b.cx(0, 1)
+>>> check_equivalence(a, b).equivalent
+True
+"""
+
+from repro.circuit import (
+    ClassicalRegister,
+    QuantumCircuit,
+    QuantumRegister,
+    circuit_from_qasm,
+    circuit_to_qasm,
+)
+from repro.core import (
+    Configuration,
+    EquivalenceCheckResult,
+    EquivalenceChecker,
+    EquivalenceCriterion,
+    check_behavioural_equivalence,
+    check_equivalence,
+    extract_distribution,
+    to_unitary_circuit,
+    verify,
+)
+from repro.simulators import DDSimulator, Statevector, StatevectorSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassicalRegister",
+    "Configuration",
+    "DDSimulator",
+    "EquivalenceCheckResult",
+    "EquivalenceChecker",
+    "EquivalenceCriterion",
+    "QuantumCircuit",
+    "QuantumRegister",
+    "Statevector",
+    "StatevectorSimulator",
+    "__version__",
+    "check_behavioural_equivalence",
+    "check_equivalence",
+    "circuit_from_qasm",
+    "circuit_to_qasm",
+    "extract_distribution",
+    "to_unitary_circuit",
+    "verify",
+]

@@ -1,0 +1,41 @@
+"""Benchmark algorithms of the paper's evaluation, plus a few extras.
+
+Each of the paper's benchmarks — Bernstein-Vazirani, the quantum Fourier
+transform and quantum phase estimation — is provided as a *static* circuit and
+as a *dynamic* realization using mid-circuit measurements, resets and
+classically-controlled operations.  Teleportation and GHZ circuits round out
+the set for the examples and tests.
+"""
+
+from repro.algorithms.bernstein_vazirani import (
+    bernstein_vazirani_dynamic,
+    bernstein_vazirani_static,
+    hidden_string_bits,
+)
+from repro.algorithms.ghz import ghz_fanout, ghz_ladder, ghz_with_bug
+from repro.algorithms.qft import qft_circuit, qft_dynamic, qft_static_benchmark
+from repro.algorithms.qpe import (
+    iterative_qpe,
+    phase_estimate_from_bitstring,
+    qpe_static,
+    running_example_lambda,
+)
+from repro.algorithms.teleportation import teleportation_dynamic, teleportation_static
+
+__all__ = [
+    "bernstein_vazirani_dynamic",
+    "bernstein_vazirani_static",
+    "ghz_fanout",
+    "ghz_ladder",
+    "ghz_with_bug",
+    "hidden_string_bits",
+    "iterative_qpe",
+    "phase_estimate_from_bitstring",
+    "qft_circuit",
+    "qft_dynamic",
+    "qft_static_benchmark",
+    "qpe_static",
+    "running_example_lambda",
+    "teleportation_dynamic",
+    "teleportation_static",
+]

@@ -1,0 +1,89 @@
+"""Bernstein-Vazirani circuits, static and dynamic.
+
+The Bernstein-Vazirani algorithm [42] recovers a hidden bitstring ``s`` with a
+single oracle query.  The *static* realization uses one data qubit per bit of
+``s`` plus a phase-kickback ancilla.  The *dynamic* realization (cf. the IBM
+mid-circuit measurement demonstration [43] referenced by the paper) re-uses a
+single work qubit: each bit of ``s`` is obtained from one
+Hadamard-oracle-Hadamard-measure round followed by a reset of the work qubit,
+so only two qubits are needed regardless of the length of ``s``.
+
+Qubit layout
+------------
+Both realizations place the phase-kickback ancilla on qubit 0.  The static
+circuit puts the data qubit for bit ``i`` on qubit ``i + 1`` — exactly the
+position the unitary reconstruction (Scheme 1) assigns to the ``i``-th round
+of the dynamic circuit, so that ``U =? U'`` can be checked without any qubit
+relabelling.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import ClassicalRegister, QuantumRegister
+from repro.exceptions import CircuitError
+
+__all__ = ["bernstein_vazirani_dynamic", "bernstein_vazirani_static", "hidden_string_bits"]
+
+
+def hidden_string_bits(hidden_string: str) -> list[int]:
+    """Parse a most-significant-first hidden bitstring into per-bit values.
+
+    The returned list is indexed by classical bit, i.e. ``bits[i]`` is the bit
+    measured into classical bit ``i`` (the rightmost character of the string).
+    """
+    if not hidden_string or any(ch not in "01" for ch in hidden_string):
+        raise CircuitError(f"hidden string must be a non-empty bitstring, got {hidden_string!r}")
+    return [int(ch) for ch in reversed(hidden_string)]
+
+
+def bernstein_vazirani_static(hidden_string: str) -> QuantumCircuit:
+    """Static Bernstein-Vazirani circuit for ``hidden_string``.
+
+    Uses ``len(hidden_string) + 1`` qubits.  Measuring the data register
+    returns the hidden string with certainty.
+    """
+    bits = hidden_string_bits(hidden_string)
+    num_bits = len(bits)
+    circuit = QuantumCircuit(
+        QuantumRegister(num_bits + 1, "q"),
+        ClassicalRegister(num_bits, "c"),
+        name=f"bv_static_{hidden_string}",
+    )
+    ancilla = 0
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for i, bit in enumerate(bits):
+        data = i + 1
+        circuit.h(data)
+        if bit:
+            circuit.cx(data, ancilla)
+        circuit.h(data)
+        circuit.measure(data, i)
+    return circuit
+
+
+def bernstein_vazirani_dynamic(hidden_string: str) -> QuantumCircuit:
+    """Dynamic Bernstein-Vazirani circuit using two qubits.
+
+    Qubit 0 is the phase-kickback ancilla, qubit 1 the re-used work qubit.
+    Each round measures one bit of the hidden string into its own single-bit
+    classical register (``c0``, ``c1``, ...) and resets the work qubit.
+    """
+    bits = hidden_string_bits(hidden_string)
+    num_bits = len(bits)
+    registers: list = [QuantumRegister(2, "q")]
+    registers.extend(ClassicalRegister(1, f"c{i}") for i in range(num_bits))
+    circuit = QuantumCircuit(*registers, name=f"bv_dynamic_{hidden_string}")
+    ancilla, work = 0, 1
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for i, bit in enumerate(bits):
+        circuit.h(work)
+        if bit:
+            circuit.cx(work, ancilla)
+        circuit.h(work)
+        circuit.measure(work, i)
+        if i < num_bits - 1:
+            circuit.reset(work)
+    return circuit

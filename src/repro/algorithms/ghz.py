@@ -1,0 +1,61 @@
+"""GHZ state preparation circuits.
+
+Used by the examples and the test suite as a simple entangled workload.  The
+ladder and fan-out preparations produce the *same state* from |0...0> but are
+*not* functionally equivalent as unitaries (they differ on other inputs) —
+a compact illustration of the difference between full functional equivalence
+(Scheme 1 territory) and behavioural equivalence for a fixed input
+(Scheme 2).  The deliberately broken variant serves as a negative test case.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import ClassicalRegister, QuantumRegister
+from repro.exceptions import CircuitError
+
+__all__ = ["ghz_fanout", "ghz_ladder", "ghz_with_bug"]
+
+
+def _circuit(num_qubits: int, name: str, measure: bool) -> QuantumCircuit:
+    if num_qubits < 2:
+        raise CircuitError("a GHZ state needs at least two qubits")
+    registers: list = [QuantumRegister(num_qubits, "q")]
+    if measure:
+        registers.append(ClassicalRegister(num_qubits, "c"))
+    return QuantumCircuit(*registers, name=name)
+
+
+def ghz_ladder(num_qubits: int, *, measure: bool = False) -> QuantumCircuit:
+    """GHZ preparation with a ladder of CNOTs (0->1->2->...)."""
+    circuit = _circuit(num_qubits, f"ghz_ladder_{num_qubits}", measure)
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def ghz_fanout(num_qubits: int, *, measure: bool = False) -> QuantumCircuit:
+    """GHZ preparation with all CNOTs fanned out from qubit 0."""
+    circuit = _circuit(num_qubits, f"ghz_fanout_{num_qubits}", measure)
+    circuit.h(0)
+    for qubit in range(1, num_qubits):
+        circuit.cx(0, qubit)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def ghz_with_bug(num_qubits: int, *, measure: bool = False) -> QuantumCircuit:
+    """A GHZ-like circuit with one wrong gate (negative test case)."""
+    circuit = _circuit(num_qubits, f"ghz_bug_{num_qubits}", measure)
+    circuit.h(0)
+    for qubit in range(1, num_qubits):
+        circuit.cx(0, qubit)
+    # An extra Z on the last qubit flips the relative phase of |1...1>.
+    circuit.z(num_qubits - 1)
+    if measure:
+        circuit.measure_all()
+    return circuit

@@ -1,0 +1,111 @@
+"""Quantum Fourier transform circuits, static and dynamic.
+
+Two flavours are provided:
+
+* :func:`qft_circuit` — the textbook QFT (optionally inverse, optionally with
+  the final SWAP layer) as a reusable unitary building block.
+* :func:`qft_static_benchmark` / :func:`qft_dynamic` — the benchmark pair used
+  in Table 1 of the paper: an ``n``-qubit QFT applied to |0...0> followed by a
+  full measurement, and its dynamic single-qubit realization following the
+  semiclassical QFT of Griffiths and Niu [44] (measure one qubit at a time and
+  replace quantum controls on yet-to-be-measured qubits by classical controls
+  on already-measured bits, re-using a single work qubit via resets).
+
+The static benchmark circuit is written in "semiclassical order" (per qubit:
+phase corrections controlled by previously processed qubits, then a Hadamard)
+so that the unitary reconstruction of the dynamic circuit matches it without
+any qubit relabelling.  Up to qubit ordering this is the standard QFT; the
+test suite checks it against the DFT matrix explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import ClassicalRegister, QuantumRegister
+from repro.exceptions import CircuitError
+
+__all__ = ["qft_circuit", "qft_dynamic", "qft_static_benchmark"]
+
+
+def _validate(num_qubits: int) -> None:
+    if num_qubits < 1:
+        raise CircuitError("the QFT needs at least one qubit")
+
+
+def qft_circuit(
+    num_qubits: int,
+    *,
+    inverse: bool = False,
+    include_swaps: bool = True,
+    name: str | None = None,
+) -> QuantumCircuit:
+    """Textbook quantum Fourier transform on ``num_qubits`` qubits.
+
+    With ``include_swaps`` the circuit maps the computational basis state
+    |x> (little-endian integer ``x``) to ``(1/sqrt(N)) * sum_y exp(2*pi*i*x*y/N) |y>``;
+    without the SWAP layer the output bits appear in reversed order.  With
+    ``inverse`` the adjoint transform is returned.
+    """
+    _validate(num_qubits)
+    circuit = QuantumCircuit(
+        QuantumRegister(num_qubits, "q"),
+        name=name or ("iqft" if inverse else "qft"),
+    )
+    for k in reversed(range(num_qubits)):
+        circuit.h(k)
+        for j in reversed(range(k)):
+            circuit.cp(math.pi / (1 << (k - j)), j, k)
+    if include_swaps:
+        for k in range(num_qubits // 2):
+            circuit.swap(k, num_qubits - 1 - k)
+    if inverse:
+        return circuit.inverse(name=name or "iqft")
+    return circuit
+
+
+def qft_static_benchmark(num_qubits: int) -> QuantumCircuit:
+    """Static QFT benchmark: QFT applied to |0...0>, then a full measurement.
+
+    Qubit ``k`` is measured into classical bit ``k``.  The gate order matches
+    the unitary reconstruction of :func:`qft_dynamic` (semiclassical order);
+    functionally the circuit is the standard QFT up to qubit ordering.
+    """
+    _validate(num_qubits)
+    circuit = QuantumCircuit(
+        QuantumRegister(num_qubits, "q"),
+        ClassicalRegister(num_qubits, "c"),
+        name=f"qft_static_{num_qubits}",
+    )
+    for k in range(num_qubits):
+        for j in range(k):
+            circuit.cp(math.pi / (1 << (k - j)), j, k)
+        circuit.h(k)
+    for k in range(num_qubits):
+        circuit.measure(k, k)
+    return circuit
+
+
+def qft_dynamic(num_qubits: int) -> QuantumCircuit:
+    """Dynamic (single-qubit) QFT benchmark circuit.
+
+    One work qubit is measured and reset ``num_qubits`` times; the phase
+    rotations that the static QFT controls on other qubits are applied
+    classically controlled on the already-measured bits, following the
+    semiclassical QFT [44] / the IBM mid-circuit measurement demonstration
+    [43].  Classical bit ``k`` is produced by round ``k``.
+    """
+    _validate(num_qubits)
+    registers: list = [QuantumRegister(1, "q")]
+    registers.extend(ClassicalRegister(1, f"c{k}") for k in range(num_qubits))
+    circuit = QuantumCircuit(*registers, name=f"qft_dynamic_{num_qubits}")
+    work = 0
+    for k in range(num_qubits):
+        for j in range(k):
+            circuit.p(math.pi / (1 << (k - j)), work, condition=(j, 1))
+        circuit.h(work)
+        circuit.measure(work, k)
+        if k < num_qubits - 1:
+            circuit.reset(work)
+    return circuit

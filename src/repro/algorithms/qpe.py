@@ -1,0 +1,124 @@
+"""Quantum phase estimation — the paper's running example.
+
+``U = p(lambda)`` is a single-qubit phase gate with eigenvalue
+``exp(i*lambda)`` on the eigenstate |1>, i.e. the phase to estimate is
+``theta = lambda / (2*pi)``.  The *static* QPE circuit uses ``m`` counting
+qubits and the inverse quantum Fourier transform; the *dynamic* (iterative)
+QPE circuit [29] uses a single work qubit that is measured and reset ``m``
+times, with classically-controlled correction rotations — exactly the circuit
+of Fig. 2 of the paper.
+
+Qubit layout
+------------
+The eigenstate qubit is qubit 0 in both realizations.  In the static circuit
+the counting qubit that produces classical bit ``k`` (weight ``2**(k-m)`` of
+the phase estimate ``0.c_{m-1}...c_0``) sits on qubit ``k + 1`` — the position
+the unitary reconstruction assigns to round ``k`` of the iterative circuit, so
+the two can be compared directly (Fig. 1a vs. Fig. 3b in the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import ClassicalRegister, QuantumRegister
+from repro.exceptions import CircuitError
+
+__all__ = ["iterative_qpe", "qpe_static", "running_example_lambda"]
+
+#: Phase-gate angle of the paper's running example: ``U = p(3*pi/8)``.
+running_example_lambda = 3.0 * math.pi / 8.0
+
+
+def _controlled_power_angle(lam: float, power: int) -> float:
+    """Angle of the controlled-``U**(2**power)`` rotation, reduced mod 2*pi.
+
+    Both the static and the dynamic generator use this helper so that the two
+    circuits contain *bitwise identical* rotation angles (important for exact
+    functional equivalence at large ``m`` where ``2**power * lam`` would lose
+    precision).
+    """
+    two_pi = 2.0 * math.pi
+    angle = lam % two_pi
+    for _ in range(power):
+        angle = (2.0 * angle) % two_pi
+    return angle
+
+
+def _validate(num_bits: int) -> None:
+    if num_bits < 1:
+        raise CircuitError("phase estimation needs at least one precision bit")
+
+
+def qpe_static(num_bits: int, lam: float = running_example_lambda, *, eigenstate_one: bool = True) -> QuantumCircuit:
+    """Static quantum phase estimation with ``num_bits`` bits of precision.
+
+    The circuit uses ``num_bits + 1`` qubits (eigenstate qubit 0 plus one
+    counting qubit per bit) and measures classical bit ``k`` from counting
+    qubit ``k + 1``.  With ``eigenstate_one`` the eigenstate |1> of ``p(lam)``
+    is prepared; otherwise the (trivial) eigenstate |0> is used.
+    """
+    _validate(num_bits)
+    circuit = QuantumCircuit(
+        QuantumRegister(num_bits + 1, "q"),
+        ClassicalRegister(num_bits, "c"),
+        name=f"qpe_static_{num_bits}",
+    )
+    eigenstate = 0
+    if eigenstate_one:
+        circuit.x(eigenstate)
+
+    for k in range(num_bits):
+        circuit.h(k + 1)
+    for k in range(num_bits):
+        circuit.cp(_controlled_power_angle(lam, num_bits - 1 - k), k + 1, eigenstate)
+
+    # Inverse QFT on the counting register, written in the "semiclassical"
+    # order (per counting qubit: corrections controlled by already-processed
+    # qubits, then a Hadamard) so that it matches the unitary reconstruction
+    # of the iterative realization gate for gate.
+    for k in range(num_bits):
+        for j in range(k):
+            circuit.cp(-math.pi / (1 << (k - j)), j + 1, k + 1)
+        circuit.h(k + 1)
+
+    for k in range(num_bits):
+        circuit.measure(k + 1, k)
+    return circuit
+
+
+def iterative_qpe(num_bits: int, lam: float = running_example_lambda, *, eigenstate_one: bool = True) -> QuantumCircuit:
+    """Iterative (dynamic) quantum phase estimation with a single work qubit.
+
+    Qubit 0 holds the eigenstate, qubit 1 is the re-used work qubit.  Round
+    ``k`` estimates classical bit ``k`` (least-significant first): Hadamard,
+    controlled-``U**(2**(m-1-k))``, correction rotations conditioned on the
+    previously measured bits, Hadamard, measurement, reset.  This is the
+    circuit of Fig. 2 of the paper.
+    """
+    _validate(num_bits)
+    registers: list = [QuantumRegister(2, "q")]
+    registers.extend(ClassicalRegister(1, f"c{k}") for k in range(num_bits))
+    circuit = QuantumCircuit(*registers, name=f"iqpe_{num_bits}")
+    eigenstate, work = 0, 1
+    if eigenstate_one:
+        circuit.x(eigenstate)
+
+    for k in range(num_bits):
+        circuit.h(work)
+        circuit.cp(_controlled_power_angle(lam, num_bits - 1 - k), work, eigenstate)
+        for j in range(k):
+            circuit.p(-math.pi / (1 << (k - j)), work, condition=(j, 1))
+        circuit.h(work)
+        circuit.measure(work, k)
+        if k < num_bits - 1:
+            circuit.reset(work)
+    return circuit
+
+
+def phase_estimate_from_bitstring(bitstring: str) -> float:
+    """Convert a measured bitstring ``c_{m-1}...c_0`` into the estimate ``0.c_{m-1}...c_0``."""
+    if bitstring and any(ch not in "01" for ch in bitstring):
+        raise CircuitError(f"not a bitstring: {bitstring!r}")
+    return int(bitstring, 2) / (1 << len(bitstring)) if bitstring else 0.0

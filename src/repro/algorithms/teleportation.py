@@ -1,0 +1,68 @@
+"""Quantum teleportation, dynamic and static.
+
+Teleportation [28] is the textbook example of a protocol that *requires*
+classically-controlled operations: Alice's Bell measurement outcomes decide
+which Pauli corrections Bob applies.  The dynamic circuit therefore exercises
+mid-circuit measurements and classical control; its static counterpart replaces
+the corrections by quantum-controlled Paulis (the deferred-measurement form),
+which is exactly what Scheme 1 reconstructs.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.registers import ClassicalRegister, QuantumRegister
+
+__all__ = ["teleportation_dynamic", "teleportation_static"]
+
+
+def _prepare_message(circuit: QuantumCircuit, qubit: int, theta: float, phi: float) -> None:
+    """Prepare the state to be teleported on ``qubit``."""
+    circuit.ry(theta, qubit)
+    circuit.rz(phi, qubit)
+
+
+def teleportation_dynamic(theta: float = 0.7, phi: float = 0.3) -> QuantumCircuit:
+    """Teleport ``ry(theta); rz(phi)|0>`` from qubit 0 to qubit 2 using
+    mid-circuit measurements and classically-controlled corrections."""
+    circuit = QuantumCircuit(
+        QuantumRegister(3, "q"),
+        ClassicalRegister(1, "c0"),
+        ClassicalRegister(1, "c1"),
+        name="teleport_dynamic",
+    )
+    message, alice, bob = 0, 1, 2
+    _prepare_message(circuit, message, theta, phi)
+    # Entangle Alice and Bob.
+    circuit.h(alice)
+    circuit.cx(alice, bob)
+    # Bell measurement of the message and Alice's qubit.
+    circuit.cx(message, alice)
+    circuit.h(message)
+    circuit.measure(message, 0)
+    circuit.measure(alice, 1)
+    # Bob's corrections.
+    circuit.x(bob, condition=(1, 1))
+    circuit.z(bob, condition=(0, 1))
+    return circuit
+
+
+def teleportation_static(theta: float = 0.7, phi: float = 0.3) -> QuantumCircuit:
+    """Deferred-measurement (static) version of :func:`teleportation_dynamic`."""
+    circuit = QuantumCircuit(
+        QuantumRegister(3, "q"),
+        ClassicalRegister(1, "c0"),
+        ClassicalRegister(1, "c1"),
+        name="teleport_static",
+    )
+    message, alice, bob = 0, 1, 2
+    _prepare_message(circuit, message, theta, phi)
+    circuit.h(alice)
+    circuit.cx(alice, bob)
+    circuit.cx(message, alice)
+    circuit.h(message)
+    circuit.cx(alice, bob)
+    circuit.cz(message, bob)
+    circuit.measure(message, 0)
+    circuit.measure(alice, 1)
+    return circuit

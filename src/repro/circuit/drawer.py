@@ -1,0 +1,84 @@
+"""Plain-text circuit drawer.
+
+Produces a compact column-per-instruction rendering, e.g.::
+
+    q0: -H---*---M------
+             |   |
+    q1: -----X---|---M--
+                 |   |
+    c0: =========*===*==
+
+The drawer is intentionally simple: one column per instruction (no packing),
+which keeps the code small while still being useful for inspecting the
+dynamic circuits and their unitary reconstructions in examples and tests.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import ControlledGate
+
+__all__ = ["draw_circuit"]
+
+
+def _gate_label(inst) -> str:
+    op = inst.operation
+    if op.params:
+        args = ",".join(f"{p:.3g}" for p in op.params)
+        return f"{op.name}({args})"
+    return op.name
+
+
+def draw_circuit(circuit: QuantumCircuit) -> str:
+    """Render ``circuit`` as plain text (one column per instruction)."""
+    num_qubits = circuit.num_qubits
+    num_clbits = circuit.num_clbits
+    qubit_rows: list[list[str]] = [[] for _ in range(num_qubits)]
+    clbit_rows: list[list[str]] = [[] for _ in range(num_clbits)]
+
+    for inst in circuit:
+        column_q = ["-"] * num_qubits
+        column_c = ["="] * num_clbits
+        op = inst.operation
+
+        if inst.is_barrier:
+            for q in inst.qubits:
+                column_q[q] = "|"
+        elif inst.is_measurement:
+            column_q[inst.qubits[0]] = "M"
+            column_c[inst.clbits[0]] = "v"
+        elif inst.is_reset:
+            column_q[inst.qubits[0]] = "0"
+        elif isinstance(op, ControlledGate):
+            controls = inst.qubits[: op.num_ctrl_qubits]
+            targets = inst.qubits[op.num_ctrl_qubits :]
+            for k, control in enumerate(controls):
+                active = (op.ctrl_state >> k) & 1
+                column_q[control] = "*" if active else "o"
+            label = op.base_gate.name.upper()
+            for target in targets:
+                column_q[target] = label
+        else:
+            label = _gate_label(inst)
+            for q in inst.qubits:
+                column_q[q] = label
+
+        if inst.condition is not None:
+            for c in inst.condition.clbits:
+                column_c[c] = "?"
+
+        width = max([len(cell) for cell in column_q + column_c] + [1])
+        for q in range(num_qubits):
+            qubit_rows[q].append(column_q[q].center(width, "-"))
+        for c in range(num_clbits):
+            clbit_rows[c].append(column_c[c].center(width, "="))
+
+    lines = []
+    label_width = max(len(f"q{num_qubits - 1}"), len(f"c{max(num_clbits - 1, 0)}"), 2) + 2
+    for q in range(num_qubits):
+        prefix = f"q{q}:".ljust(label_width)
+        lines.append(prefix + "-" + "--".join(qubit_rows[q]) + "-")
+    for c in range(num_clbits):
+        prefix = f"c{c}:".ljust(label_width)
+        lines.append(prefix + "=" + "==".join(clbit_rows[c]) + "=")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Random circuit generation.
+
+Used by the property-based tests (random static circuits must round-trip
+through QASM, the DD backend must agree with the dense backend, equivalence of
+a circuit with a permuted-but-equal copy must be detected, ...) and by the
+benchmark harness for stress workloads.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+__all__ = ["random_dynamic_circuit", "random_static_circuit"]
+
+_SINGLE_QUBIT = ("x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx")
+_SINGLE_QUBIT_PARAM = ("rx", "ry", "rz", "p")
+_TWO_QUBIT = ("cx", "cy", "cz", "ch", "swap")
+_TWO_QUBIT_PARAM = ("cp", "crx", "cry", "crz")
+
+
+def _apply_named(circuit: QuantumCircuit, name: str, qubits: Sequence[int], rng: random.Random):
+    if name in _SINGLE_QUBIT:
+        getattr(circuit, name)(qubits[0])
+    elif name in _SINGLE_QUBIT_PARAM:
+        getattr(circuit, name)(rng.uniform(-math.pi, math.pi), qubits[0])
+    elif name in _TWO_QUBIT:
+        getattr(circuit, name)(qubits[0], qubits[1])
+    elif name in _TWO_QUBIT_PARAM:
+        getattr(circuit, name)(rng.uniform(-math.pi, math.pi), qubits[0], qubits[1])
+    else:  # pragma: no cover - defensive
+        raise CircuitError(f"unknown random gate name {name!r}")
+
+
+def random_static_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: int | None = None,
+    *,
+    measure: bool = False,
+    two_qubit_probability: float = 0.4,
+) -> QuantumCircuit:
+    """Generate a random unitary circuit (optionally with final measurements).
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits (>= 1).
+    depth:
+        Number of gate layers; each layer applies roughly one gate per qubit.
+    seed:
+        Seed for reproducibility.
+    measure:
+        If true, append a full measurement layer (requires classical bits).
+    two_qubit_probability:
+        Probability of choosing a two-qubit gate when at least two qubits are
+        still free in the current layer.
+    """
+    if num_qubits < 1:
+        raise CircuitError("random circuits need at least one qubit")
+    if depth < 0:
+        raise CircuitError("depth must be non-negative")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, num_qubits if measure else 0, name="random")
+    for _ in range(depth):
+        free = list(range(num_qubits))
+        rng.shuffle(free)
+        while free:
+            if len(free) >= 2 and rng.random() < two_qubit_probability:
+                a, b = free.pop(), free.pop()
+                name = rng.choice(_TWO_QUBIT + _TWO_QUBIT_PARAM)
+                _apply_named(circuit, name, (a, b), rng)
+            else:
+                a = free.pop()
+                name = rng.choice(_SINGLE_QUBIT + _SINGLE_QUBIT_PARAM)
+                _apply_named(circuit, name, (a,), rng)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def random_dynamic_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: int | None = None,
+    *,
+    num_measurements: int = 2,
+    reset_probability: float = 0.5,
+    conditional_probability: float = 0.5,
+) -> QuantumCircuit:
+    """Generate a random *dynamic* circuit.
+
+    The circuit interleaves random unitary blocks with mid-circuit
+    measurements; every measured qubit is reset afterwards (so that it can be
+    re-used, exactly the situation Scheme 1 of the paper handles) and
+    subsequent single-qubit gates may be conditioned on the measurement
+    outcome.  With probability ``reset_probability`` an *additional*
+    standalone reset of a random qubit is inserted after each round.  Used to
+    stress-test the transformation and extraction schemes on circuits without
+    any algorithmic structure.
+    """
+    if num_measurements < 1:
+        raise CircuitError("a dynamic circuit needs at least one measurement")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, num_measurements, name="random_dynamic")
+    block_depth = max(1, depth // (num_measurements + 1))
+
+    def random_block() -> None:
+        for _ in range(block_depth):
+            qubits = list(range(num_qubits))
+            rng.shuffle(qubits)
+            if len(qubits) >= 2 and rng.random() < 0.4:
+                name = rng.choice(_TWO_QUBIT + _TWO_QUBIT_PARAM)
+                _apply_named(circuit, name, qubits[:2], rng)
+            else:
+                name = rng.choice(_SINGLE_QUBIT + _SINGLE_QUBIT_PARAM)
+                _apply_named(circuit, name, qubits[:1], rng)
+
+    for measurement in range(num_measurements):
+        random_block()
+        measured_qubit = rng.randrange(num_qubits)
+        circuit.measure(measured_qubit, measurement)
+        circuit.reset(measured_qubit)
+        if rng.random() < reset_probability:
+            circuit.reset(rng.randrange(num_qubits))
+        if rng.random() < conditional_probability:
+            target = rng.randrange(num_qubits)
+            name = rng.choice(_SINGLE_QUBIT + _SINGLE_QUBIT_PARAM)
+            if name in _SINGLE_QUBIT:
+                getattr(circuit, name)(target, condition=(measurement, 1))
+            else:
+                getattr(circuit, name)(
+                    rng.uniform(-math.pi, math.pi), target, condition=(measurement, 1)
+                )
+    random_block()
+    return circuit

@@ -1,0 +1,115 @@
+"""Quantum and classical registers.
+
+A :class:`QuantumCircuit` owns a flat list of qubits and classical bits; the
+register classes group them under a name (mirroring OpenQASM 2 semantics) so
+circuits can be exported to and imported from QASM without losing structure.
+Bit index 0 of a register is its least-significant bit.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CircuitError
+
+__all__ = ["Clbit", "ClassicalRegister", "QuantumRegister", "Qubit"]
+
+
+class _Bit:
+    """A single bit belonging to a register."""
+
+    __slots__ = ("register", "index")
+
+    def __init__(self, register: "_Register", index: int) -> None:
+        if not 0 <= index < register.size:
+            raise CircuitError(
+                f"bit index {index} out of range for register {register.name!r} "
+                f"of size {register.size}"
+            )
+        self.register = register
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.register.name!r}, {self.index})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, type(self)):
+            return NotImplemented
+        return self.register is other.register and self.index == other.index
+
+    def __hash__(self) -> int:
+        return hash((id(self.register), self.index, type(self).__name__))
+
+
+class Qubit(_Bit):
+    """A single qubit of a :class:`QuantumRegister`."""
+
+
+class Clbit(_Bit):
+    """A single classical bit of a :class:`ClassicalRegister`."""
+
+
+class _Register:
+    """Common behaviour of quantum and classical registers."""
+
+    _bit_type: type[_Bit] = _Bit
+    _prefix = "reg"
+    _counter = 0
+
+    def __init__(self, size: int, name: str | None = None) -> None:
+        if size < 0:
+            raise CircuitError(f"register size must be non-negative, got {size}")
+        if name is None:
+            name = f"{self._prefix}{type(self)._counter}"
+            type(self)._counter += 1
+        if not name or not (name[0].isalpha() or name[0] == "_"):
+            raise CircuitError(f"invalid register name {name!r}")
+        self._name = name
+        self._size = size
+        self._bits = tuple(self._bit_type(self, i) for i in range(size))
+
+    @property
+    def name(self) -> str:
+        """Register name (used as the QASM identifier)."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of bits in the register."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._bits[index])
+        return self._bits[index]
+
+    def __iter__(self):
+        return iter(self._bits)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._size}, {self._name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, type(self)):
+            return NotImplemented
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class QuantumRegister(_Register):
+    """A named group of qubits."""
+
+    _bit_type = Qubit
+    _prefix = "q"
+    _counter = 0
+
+
+class ClassicalRegister(_Register):
+    """A named group of classical bits."""
+
+    _bit_type = Clbit
+    _prefix = "c"
+    _counter = 0

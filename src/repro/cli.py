@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+Mirrors the way the original QCEC tool is used from the shell: point it at two
+OpenQASM files and get an equivalence verdict, or extract the measurement
+outcome distribution of a single (dynamic) circuit.
+
+Usage (after ``pip install -e .``)::
+
+    repro-qcec verify static.qasm dynamic.qasm --method alternating --strategy proportional
+    repro-qcec verify-behaviour static.qasm dynamic.qasm
+    repro-qcec extract dynamic.qasm --backend dd
+    repro-qcec show circuit.qasm
+
+or equivalently ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.circuit import QuantumCircuit, circuit_from_qasm
+from repro.core import (
+    Configuration,
+    check_behavioural_equivalence,
+    check_equivalence,
+    extract_distribution,
+)
+from repro.exceptions import ReproError
+
+__all__ = ["build_parser", "main"]
+
+
+def _load_circuit(path: str) -> QuantumCircuit:
+    text = Path(path).read_text(encoding="utf-8")
+    circuit = circuit_from_qasm(text)
+    circuit.name = Path(path).stem
+    return circuit
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-qcec",
+        description="Equivalence checking of (dynamic) quantum circuits given as OpenQASM 2 files.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    verify = subparsers.add_parser(
+        "verify", help="full functional verification (Scheme 1 for dynamic circuits)"
+    )
+    verify.add_argument("first", help="OpenQASM 2 file of the first circuit")
+    verify.add_argument("second", help="OpenQASM 2 file of the second circuit")
+    verify.add_argument("--method", default="alternating", choices=["alternating", "construction", "simulation"])
+    verify.add_argument(
+        "--strategy", default="proportional", choices=["naive", "one_to_one", "proportional", "lookahead"]
+    )
+    verify.add_argument("--backend", default="dd", choices=["dd", "dense"])
+    verify.add_argument("--tolerance", type=float, default=1e-7)
+    verify.add_argument("--json", action="store_true", help="print the result as JSON")
+
+    behaviour = subparsers.add_parser(
+        "verify-behaviour",
+        help="compare measurement-outcome distributions for the |0...0> input (Scheme 2)",
+    )
+    behaviour.add_argument("first")
+    behaviour.add_argument("second")
+    behaviour.add_argument("--backend", default="statevector", choices=["statevector", "dd"])
+    behaviour.add_argument("--tolerance", type=float, default=1e-7)
+    behaviour.add_argument("--json", action="store_true")
+
+    extract = subparsers.add_parser(
+        "extract", help="extract the measurement-outcome distribution of one circuit"
+    )
+    extract.add_argument("circuit")
+    extract.add_argument("--backend", default="statevector", choices=["statevector", "dd"])
+    extract.add_argument("--initial-state", default=None, help="bitstring input state (default |0...0>)")
+    extract.add_argument("--json", action="store_true")
+
+    show = subparsers.add_parser("show", help="print a summary and drawing of a circuit")
+    show.add_argument("circuit")
+    return parser
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    first = _load_circuit(args.first)
+    second = _load_circuit(args.second)
+    configuration = Configuration(
+        method=args.method,
+        strategy=args.strategy,
+        backend=args.backend,
+        tolerance=args.tolerance,
+    )
+    result = check_equivalence(first, second, configuration)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "criterion": result.criterion.value,
+                    "equivalent": result.equivalent,
+                    "method": result.method,
+                    "strategy": result.strategy,
+                    "backend": result.backend,
+                    "time_transformation": result.time_transformation,
+                    "time_check": result.time_check,
+                }
+            )
+        )
+    else:
+        print(f"{first.name} vs {second.name}: {result.criterion.value}")
+        print(
+            f"  method={result.method} strategy={result.strategy} backend={result.backend} "
+            f"t_trans={result.time_transformation:.6f}s t_ver={result.time_check:.6f}s"
+        )
+    return 0 if result.equivalent else 1
+
+
+def _command_verify_behaviour(args: argparse.Namespace) -> int:
+    first = _load_circuit(args.first)
+    second = _load_circuit(args.second)
+    result = check_behavioural_equivalence(
+        first, second, backend=args.backend, tolerance=args.tolerance
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "criterion": result.criterion.value,
+                    "equivalent": result.equivalent,
+                    "total_variation_distance": result.details["total_variation_distance"],
+                    "classical_fidelity": result.details["classical_fidelity"],
+                }
+            )
+        )
+    else:
+        print(f"{first.name} vs {second.name}: {result.criterion.value}")
+        print(
+            f"  TVD={result.details['total_variation_distance']:.3e} "
+            f"fidelity={result.details['classical_fidelity']:.6f}"
+        )
+    return 0 if result.equivalent else 1
+
+
+def _command_extract(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    result = extract_distribution(circuit, args.initial_state, backend=args.backend)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "distribution": result.distribution,
+                    "num_paths": result.num_paths,
+                    "backend": result.backend,
+                    "time": result.time_taken,
+                }
+            )
+        )
+    else:
+        print(f"{circuit.name}: {result.num_paths} path(s), t_extract={result.time_taken:.6f}s")
+        for outcome in sorted(result.distribution):
+            print(f"  |{outcome}> : {result.distribution[outcome]:.6f}")
+    return 0
+
+
+def _command_show(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    print(circuit.summary())
+    print(circuit.draw())
+    return 0
+
+
+_COMMANDS = {
+    "verify": _command_verify,
+    "verify-behaviour": _command_verify_behaviour,
+    "extract": _command_extract,
+    "show": _command_show,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The compilation pipeline: decomposition -> routing -> optimization.
+
+This is the substrate for the paper's first use case (Section 2.3): a circuit
+is compiled to a device's native gate set and connectivity, and the
+equivalence checker verifies that the compiled circuit still realizes the
+original functionality (Fig. 1a vs. Fig. 1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compilation.basis import decompose_to_cx_and_single_qubit, rewrite_single_qubit_to_u
+from repro.compilation.coupling import CouplingMap
+from repro.compilation.optimize import optimize_circuit
+from repro.compilation.routing import RoutingResult, pad_circuit, route_circuit
+
+__all__ = ["CompilationResult", "compile_circuit"]
+
+
+@dataclass
+class CompilationResult:
+    """Outcome of :func:`compile_circuit`."""
+
+    circuit: QuantumCircuit
+    original: QuantumCircuit
+    coupling_map: CouplingMap | None = None
+    routing: RoutingResult | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def padded_original(self) -> QuantumCircuit:
+        """The original circuit padded to the device size (for verification)."""
+        if self.coupling_map is None:
+            return self.original
+        return pad_circuit(self.original, self.coupling_map.num_qubits)
+
+
+def compile_circuit(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap | None = None,
+    *,
+    initial_layout: list[int] | None = None,
+    single_qubit_to_u: bool = True,
+    optimize: bool = True,
+) -> CompilationResult:
+    """Compile ``circuit`` for a device.
+
+    Steps: (1) decompose all multi-qubit gates to CNOT + single-qubit gates,
+    (2) route onto ``coupling_map`` (if given) inserting SWAPs — which are then
+    themselves decomposed into CNOTs, (3) optionally fuse single-qubit gates
+    into ``U`` gates, and (4) optionally run the peephole optimizations.  The
+    result is strictly functionally equivalent to the original circuit (padded
+    to the device size when a coupling map is used).
+    """
+    stats = {"original_size": circuit.size, "original_qubits": circuit.num_qubits}
+    compiled = decompose_to_cx_and_single_qubit(circuit)
+
+    routing = None
+    if coupling_map is not None:
+        routing = route_circuit(compiled, coupling_map, initial_layout, restore_layout=True)
+        compiled = decompose_to_cx_and_single_qubit(routing.circuit)
+        stats["num_swaps"] = routing.num_swaps
+
+    if single_qubit_to_u:
+        compiled = rewrite_single_qubit_to_u(compiled)
+    if optimize:
+        compiled = optimize_circuit(compiled)
+
+    stats["compiled_size"] = compiled.size
+    stats["compiled_qubits"] = compiled.num_qubits
+    stats["compiled_cx"] = compiled.count_ops().get("cx", 0)
+    return CompilationResult(
+        circuit=compiled,
+        original=circuit,
+        coupling_map=coupling_map,
+        routing=routing,
+        stats=stats,
+    )

@@ -1,0 +1,129 @@
+"""Coupling maps (device connectivity graphs).
+
+A coupling map lists the physical qubit pairs that support two-qubit gates.
+The routing pass inserts SWAPs along shortest paths of this graph; the
+pre-defined :func:`ibmq_london` map is the T-shaped five-qubit device used for
+the compiled QPE circuit in Fig. 1b of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.exceptions import CompilationError
+
+__all__ = ["CouplingMap", "ibmq_london", "linear_coupling", "ring_coupling"]
+
+
+class CouplingMap:
+    """Undirected connectivity graph over ``num_qubits`` physical qubits."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[tuple[int, int]]):
+        if num_qubits < 1:
+            raise CompilationError("a coupling map needs at least one qubit")
+        self.num_qubits = num_qubits
+        self._adjacency: dict[int, set[int]] = {q: set() for q in range(num_qubits)}
+        for a, b in edges:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise CompilationError(f"edge ({a}, {b}) out of range for {num_qubits} qubits")
+            if a == b:
+                raise CompilationError(f"self-loop edge on qubit {a}")
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        self._distances: list[list[int]] | None = None
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """Sorted list of undirected edges."""
+        result = set()
+        for a, neighbors in self._adjacency.items():
+            for b in neighbors:
+                result.add((min(a, b), max(a, b)))
+        return sorted(result)
+
+    def neighbors(self, qubit: int) -> set[int]:
+        """Physical qubits adjacent to ``qubit``."""
+        return set(self._adjacency[qubit])
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """Whether a two-qubit gate between ``a`` and ``b`` is directly supported."""
+        return b in self._adjacency[a]
+
+    def is_connected(self) -> bool:
+        """Whether every qubit can reach every other qubit."""
+        if self.num_qubits == 0:
+            return True
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return len(seen) == self.num_qubits
+
+    def _compute_distances(self) -> list[list[int]]:
+        distances = []
+        for source in range(self.num_qubits):
+            row = [-1] * self.num_qubits
+            row[source] = 0
+            queue = deque([source])
+            while queue:
+                current = queue.popleft()
+                for neighbor in self._adjacency[current]:
+                    if row[neighbor] == -1:
+                        row[neighbor] = row[current] + 1
+                        queue.append(neighbor)
+            distances.append(row)
+        return distances
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance between two physical qubits."""
+        if self._distances is None:
+            self._distances = self._compute_distances()
+        distance = self._distances[a][b]
+        if distance < 0:
+            raise CompilationError(f"qubits {a} and {b} are not connected")
+        return distance
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """One shortest path from ``a`` to ``b`` (inclusive)."""
+        if a == b:
+            return [a]
+        previous: dict[int, int] = {a: a}
+        queue = deque([a])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._adjacency[current]:
+                if neighbor not in previous:
+                    previous[neighbor] = current
+                    if neighbor == b:
+                        path = [b]
+                        while path[-1] != a:
+                            path.append(previous[path[-1]])
+                        return list(reversed(path))
+                    queue.append(neighbor)
+        raise CompilationError(f"qubits {a} and {b} are not connected")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CouplingMap(num_qubits={self.num_qubits}, edges={self.edges})"
+
+
+def ibmq_london() -> CouplingMap:
+    """The T-shaped five-qubit IBMQ London connectivity (Fig. 1b of the paper)."""
+    return CouplingMap(5, [(0, 1), (1, 2), (1, 3), (3, 4)])
+
+
+def linear_coupling(num_qubits: int) -> CouplingMap:
+    """A simple nearest-neighbour line of ``num_qubits`` qubits."""
+    return CouplingMap(num_qubits, [(q, q + 1) for q in range(num_qubits - 1)])
+
+
+def ring_coupling(num_qubits: int) -> CouplingMap:
+    """A ring of ``num_qubits`` qubits."""
+    if num_qubits < 3:
+        raise CompilationError("a ring needs at least three qubits")
+    edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+    return CouplingMap(num_qubits, edges)

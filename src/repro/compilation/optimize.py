@@ -1,0 +1,185 @@
+"""Peephole circuit optimizations.
+
+Small, semantics-preserving rewrites used after decomposition and routing:
+
+* cancellation of adjacent gate/inverse pairs,
+* merging of adjacent rotations about the same axis,
+* removal of identity gates and zero-angle rotations.
+
+These passes are also exercised by the equivalence-checking tests: an
+optimized circuit must always remain equivalent to its original (and an
+intentionally broken "optimization" must be caught).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import (
+    CPhaseGate,
+    CRXGate,
+    CRYGate,
+    CRZGate,
+    Gate,
+    IGate,
+    PhaseGate,
+    RXGate,
+    RYGate,
+    RZGate,
+)
+from repro.circuit.operations import Instruction
+
+__all__ = ["cancel_inverse_pairs", "merge_rotations", "optimize_circuit", "remove_identities"]
+
+_ANGLE_TOLERANCE = 1e-12
+
+# Rotation families that can be merged by adding their angles.
+_MERGEABLE = (RXGate, RYGate, RZGate, PhaseGate, CPhaseGate, CRXGate, CRYGate, CRZGate)
+
+# Families for which a 2*pi angle is exactly the identity (no global phase).
+_PERIOD_TWO_PI = (PhaseGate, CPhaseGate)
+
+
+def _is_zero_rotation(gate: Gate) -> bool:
+    if not isinstance(gate, _MERGEABLE):
+        return False
+    angle = gate.params[0]
+    if abs(angle) <= _ANGLE_TOLERANCE:
+        return True
+    if isinstance(gate, _PERIOD_TWO_PI):
+        reduced = math.fmod(angle, 2.0 * math.pi)
+        return abs(reduced) <= _ANGLE_TOLERANCE or abs(abs(reduced) - 2.0 * math.pi) <= _ANGLE_TOLERANCE
+    return False
+
+
+def _rebuild(circuit: QuantumCircuit, data: list[Instruction], suffix: str) -> QuantumCircuit:
+    result = circuit.copy_empty(name=f"{circuit.name}_{suffix}")
+    for instruction in data:
+        result.append_instruction(instruction)
+    return result
+
+
+def remove_identities(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Drop identity gates and zero-angle rotations."""
+    kept = []
+    for instruction in circuit:
+        gate = instruction.operation
+        if instruction.is_gate and instruction.condition is None and isinstance(gate, Gate):
+            if isinstance(gate, IGate) or _is_zero_rotation(gate):
+                continue
+        kept.append(instruction)
+    return _rebuild(circuit, kept, "noid")
+
+
+def _blocks_commute(first: Instruction, second: Instruction) -> bool:
+    """Conservative check whether two instructions act on disjoint wires."""
+    if set(first.qubits) & set(second.qubits):
+        return False
+    wires_first = set(first.clbits)
+    wires_second = set(second.clbits)
+    if first.condition is not None:
+        wires_first.update(first.condition.clbits)
+    if second.condition is not None:
+        wires_second.update(second.condition.clbits)
+    return not (wires_first & wires_second)
+
+
+def cancel_inverse_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Cancel adjacent gate / inverse-gate pairs on the same qubits.
+
+    "Adjacent" means no intervening instruction shares a wire with the pair.
+    The pass iterates to a fixpoint.
+    """
+    data = [inst for inst in circuit]
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while index < len(data):
+            first = data[index]
+            if not first.is_gate or first.condition is not None or first.is_barrier:
+                index += 1
+                continue
+            partner = None
+            for later in range(index + 1, len(data)):
+                second = data[later]
+                if second.is_barrier:
+                    break
+                if _blocks_commute(first, second):
+                    continue
+                if (
+                    second.is_gate
+                    and second.condition is None
+                    and second.qubits == first.qubits
+                    and isinstance(first.operation, Gate)
+                    and first.operation.inverse() == second.operation
+                ):
+                    partner = later
+                break
+            if partner is not None:
+                del data[partner]
+                del data[index]
+                changed = True
+            else:
+                index += 1
+    return _rebuild(circuit, data, "cancelled")
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Merge adjacent rotations of the same family acting on the same qubits."""
+    data = [inst for inst in circuit]
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while index < len(data):
+            first = data[index]
+            gate = first.operation
+            if (
+                not first.is_gate
+                or first.condition is not None
+                or not isinstance(gate, _MERGEABLE)
+            ):
+                index += 1
+                continue
+            partner = None
+            for later in range(index + 1, len(data)):
+                second = data[later]
+                if second.is_barrier:
+                    break
+                if _blocks_commute(first, second):
+                    continue
+                if (
+                    second.is_gate
+                    and second.condition is None
+                    and second.qubits == first.qubits
+                    and type(second.operation) is type(gate)
+                    and getattr(second.operation, "ctrl_state", None)
+                    == getattr(gate, "ctrl_state", None)
+                ):
+                    partner = later
+                break
+            if partner is None:
+                index += 1
+                continue
+            merged_angle = gate.params[0] + data[partner].operation.params[0]
+            ctrl_state = getattr(gate, "ctrl_state", None)
+            if ctrl_state is None:
+                merged_gate = type(gate)(merged_angle)
+            else:
+                merged_gate = type(gate)(merged_angle, ctrl_state)
+            del data[partner]
+            data[index] = Instruction(merged_gate, first.qubits)
+            changed = True
+    return _rebuild(circuit, data, "merged")
+
+
+def optimize_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Run all peephole passes to a joint fixpoint."""
+    current = circuit
+    while True:
+        size_before = current.size
+        current = remove_identities(merge_rotations(cancel_inverse_pairs(current)))
+        if current.size >= size_before:
+            return current

@@ -1,0 +1,64 @@
+"""Core of the reproduction: the paper's two schemes and the equivalence checker.
+
+* Scheme 1 — unitary reconstruction: :func:`to_unitary_circuit`,
+  :func:`substitute_resets`, :func:`defer_measurements`.
+* Scheme 2 — distribution extraction: :func:`extract_distribution`,
+  :func:`check_behavioural_equivalence`.
+* Equivalence checking engine: :func:`check_equivalence` / :func:`verify`,
+  :class:`EquivalenceChecker`, :class:`Configuration`,
+  :class:`EquivalenceCheckResult`.
+"""
+
+from repro.core.configuration import Configuration
+from repro.core.distributions import (
+    classical_fidelity,
+    distributions_equivalent,
+    hellinger_distance,
+    jensen_shannon_divergence,
+    kullback_leibler_divergence,
+    normalize_distribution,
+    total_variation_distance,
+)
+from repro.core.equivalence import (
+    EquivalenceChecker,
+    check_behavioural_equivalence,
+    check_equivalence,
+    verify,
+)
+from repro.core.extraction import ExtractionResult, extract_distribution
+from repro.core.results import EquivalenceCheckResult, EquivalenceCriterion
+from repro.core.simulative import run_simulative_check
+from repro.core.strategies import alternating_schedule
+from repro.core.transformation import (
+    TransformationResult,
+    defer_measurements,
+    permute_qubits,
+    substitute_resets,
+    to_unitary_circuit,
+)
+
+__all__ = [
+    "Configuration",
+    "EquivalenceCheckResult",
+    "EquivalenceChecker",
+    "EquivalenceCriterion",
+    "ExtractionResult",
+    "TransformationResult",
+    "alternating_schedule",
+    "check_behavioural_equivalence",
+    "check_equivalence",
+    "classical_fidelity",
+    "defer_measurements",
+    "distributions_equivalent",
+    "extract_distribution",
+    "hellinger_distance",
+    "jensen_shannon_divergence",
+    "kullback_leibler_divergence",
+    "normalize_distribution",
+    "permute_qubits",
+    "run_simulative_check",
+    "substitute_resets",
+    "to_unitary_circuit",
+    "total_variation_distance",
+    "verify",
+]

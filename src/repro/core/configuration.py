@@ -1,0 +1,82 @@
+"""Configuration of the equivalence-checking flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import EquivalenceCheckingError
+
+__all__ = ["Configuration"]
+
+_METHODS = ("alternating", "construction", "simulation")
+_STRATEGIES = ("naive", "one_to_one", "proportional", "lookahead")
+_BACKENDS = ("dd", "dense")
+_STIMULI = ("basis", "product")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """All knobs of the equivalence checker.
+
+    Attributes
+    ----------
+    method:
+        ``alternating`` (the QCEC-style scheme that keeps ``U * U'^dagger``
+        close to the identity), ``construction`` (build both system matrices,
+        then compare), or ``simulation`` (random-stimuli check).
+    strategy:
+        Application strategy of the alternating scheme: ``naive``,
+        ``one_to_one``, ``proportional`` (the paper's default) or
+        ``lookahead``.
+    backend:
+        ``dd`` (decision diagrams) or ``dense`` (numpy, exponential memory —
+        only sensible for small circuits and as ground truth in tests).
+    transform_dynamic:
+        Whether dynamic circuits are transformed to unitary circuits first
+        (Section 4 of the paper).  When false, encountering a dynamic circuit
+        raises.
+    tolerance:
+        Numerical tolerance of the identity / fidelity decisions.
+    num_simulations:
+        Number of random stimuli for the ``simulation`` method.
+    stimuli_type:
+        ``basis`` (random computational basis states) or ``product`` (random
+        single-qubit product states).
+    seed:
+        Seed for the random stimuli.
+    """
+
+    method: str = "alternating"
+    strategy: str = "proportional"
+    backend: str = "dd"
+    transform_dynamic: bool = True
+    tolerance: float = 1e-7
+    num_simulations: int = 16
+    stimuli_type: str = "product"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in _METHODS:
+            raise EquivalenceCheckingError(
+                f"unknown method {self.method!r}; choose from {_METHODS}"
+            )
+        if self.strategy not in _STRATEGIES:
+            raise EquivalenceCheckingError(
+                f"unknown strategy {self.strategy!r}; choose from {_STRATEGIES}"
+            )
+        if self.backend not in _BACKENDS:
+            raise EquivalenceCheckingError(
+                f"unknown backend {self.backend!r}; choose from {_BACKENDS}"
+            )
+        if self.stimuli_type not in _STIMULI:
+            raise EquivalenceCheckingError(
+                f"unknown stimuli type {self.stimuli_type!r}; choose from {_STIMULI}"
+            )
+        if self.tolerance <= 0:
+            raise EquivalenceCheckingError("tolerance must be positive")
+        if self.num_simulations < 1:
+            raise EquivalenceCheckingError("num_simulations must be at least 1")
+
+    def updated(self, **overrides) -> "Configuration":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,408 @@
+"""Equivalence checking of quantum circuits.
+
+The functional flow mirrors QCEC: it decides whether two circuits realize the
+same unitary ``U =? U'`` by building ``E = U * U'^dagger`` — either in one go
+(``construction``) or gate by gate from both sides (``alternating``), keeping
+``E`` close to the identity for equivalent circuits — or by comparing the
+circuits on random stimuli (``simulation``).
+
+Dynamic circuits (containing resets, mid-circuit measurements or
+classically-controlled operations) are handled exactly as the paper proposes:
+
+* :func:`check_equivalence` first applies Scheme 1
+  (:func:`~repro.core.transformation.to_unitary_circuit`) so that the
+  functional flow can be used unchanged, and
+* :func:`check_behavioural_equivalence` applies Scheme 2
+  (:func:`~repro.core.extraction.extract_distribution`) and compares the
+  measurement-outcome distributions for a fixed input state.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate
+from repro.circuit.operations import Instruction
+from repro.core.configuration import Configuration
+from repro.core.distributions import classical_fidelity, total_variation_distance
+from repro.core.extraction import extract_distribution
+from repro.core.results import EquivalenceCheckResult, EquivalenceCriterion
+from repro.core.simulative import run_simulative_check
+from repro.core.strategies import LEFT, alternating_schedule
+from repro.core.transformation import permute_qubits, to_unitary_circuit
+from repro.dd.circuits import instruction_to_dd
+from repro.dd.package import DDPackage
+from repro.exceptions import EquivalenceCheckingError
+from repro.simulators.unitary import circuit_unitary, embed_gate_matrix, process_fidelity
+
+__all__ = [
+    "EquivalenceChecker",
+    "check_behavioural_equivalence",
+    "check_equivalence",
+    "verify",
+]
+
+
+def _inverse_instruction(instruction: Instruction) -> Instruction:
+    gate = instruction.operation
+    assert isinstance(gate, Gate)
+    return Instruction(gate.inverse(), instruction.qubits)
+
+
+class EquivalenceChecker:
+    """Configurable equivalence checker for static and dynamic circuits."""
+
+    def __init__(self, configuration: Configuration | None = None, **overrides):
+        configuration = configuration or Configuration()
+        if overrides:
+            configuration = configuration.updated(**overrides)
+        self.configuration = configuration
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        first: QuantumCircuit,
+        second: QuantumCircuit,
+        *,
+        qubit_permutation: dict[int, int] | None = None,
+    ) -> EquivalenceCheckResult:
+        """Check whether ``first`` and ``second`` realize the same unitary.
+
+        ``qubit_permutation`` optionally relabels the qubits of ``second``
+        before the comparison (``{old: new}``) — useful when a reconstructed
+        dynamic circuit enumerates its fresh qubits in a different order than
+        the static reference.
+        """
+        config = self.configuration
+        time_transformation = 0.0
+
+        first_unitary = first
+        second_unitary = second
+        if first.is_dynamic or second.is_dynamic:
+            if not config.transform_dynamic:
+                raise EquivalenceCheckingError(
+                    "the circuits contain non-unitary operations and transform_dynamic "
+                    "is disabled; enable it or use check_behavioural_equivalence"
+                )
+            if first.is_dynamic:
+                transformation = to_unitary_circuit(first)
+                first_unitary = transformation.circuit
+                time_transformation += transformation.time_taken
+            if second.is_dynamic:
+                transformation = to_unitary_circuit(second)
+                second_unitary = transformation.circuit
+                time_transformation += transformation.time_taken
+
+        if qubit_permutation is not None:
+            second_unitary = permute_qubits(second_unitary, qubit_permutation)
+
+        if first_unitary.num_qubits != second_unitary.num_qubits:
+            raise EquivalenceCheckingError(
+                "after unitary reconstruction the circuits act on different numbers of "
+                f"qubits ({first_unitary.num_qubits} vs {second_unitary.num_qubits}); "
+                "they do not have the same primary inputs/outputs"
+            )
+
+        start = time.perf_counter()
+        if config.method == "alternating":
+            criterion, details = self._alternating(first_unitary, second_unitary)
+        elif config.method == "construction":
+            criterion, details = self._construction(first_unitary, second_unitary)
+        else:
+            criterion, details = self._simulation(first_unitary, second_unitary)
+        time_check = time.perf_counter() - start
+
+        return EquivalenceCheckResult(
+            criterion=criterion,
+            method=config.method,
+            backend=config.backend,
+            strategy=config.strategy if config.method == "alternating" else None,
+            time_transformation=time_transformation,
+            time_check=time_check,
+            details=details,
+        )
+
+    # ------------------------------------------------------------------
+    # functional checks
+    # ------------------------------------------------------------------
+
+    def _gate_lists(
+        self, first: QuantumCircuit, second: QuantumCircuit
+    ) -> tuple[list[Instruction], list[Instruction]]:
+        left = list(first.remove_final_measurements().gate_instructions())
+        right = list(second.remove_final_measurements().gate_instructions())
+        return left, right
+
+    def _alternating(self, first: QuantumCircuit, second: QuantumCircuit):
+        if self.configuration.backend == "dd":
+            return self._alternating_dd(first, second)
+        return self._alternating_dense(first, second)
+
+    def _alternating_dd(self, first: QuantumCircuit, second: QuantumCircuit):
+        config = self.configuration
+        num_qubits = first.num_qubits
+        package = DDPackage(num_qubits)
+        left, right = self._gate_lists(first, second)
+        product = package.identity()
+        max_nodes = package.count_nodes(product)
+        left_index = 0
+        right_index = 0
+
+        def apply_left(current):
+            nonlocal left_index
+            gate_dd = instruction_to_dd(package, left[left_index])
+            left_index += 1
+            return package.multiply_matrices(gate_dd, current)
+
+        def apply_right(current):
+            nonlocal right_index
+            gate_dd = instruction_to_dd(package, _inverse_instruction(right[right_index]))
+            right_index += 1
+            return package.multiply_matrices(current, gate_dd)
+
+        if config.strategy == "lookahead":
+            while left_index < len(left) or right_index < len(right):
+                if left_index >= len(left):
+                    product = apply_right(product)
+                elif right_index >= len(right):
+                    product = apply_left(product)
+                else:
+                    saved_left, saved_right = left_index, right_index
+                    candidate_left = apply_left(product)
+                    left_after = left_index
+                    left_index = saved_left
+                    candidate_right = apply_right(product)
+                    right_after = right_index
+                    if package.count_nodes(candidate_left) <= package.count_nodes(candidate_right):
+                        product = candidate_left
+                        left_index, right_index = left_after, saved_right
+                    else:
+                        product = candidate_right
+                        left_index, right_index = saved_left, right_after
+                max_nodes = max(max_nodes, package.count_nodes(product))
+        else:
+            for token in alternating_schedule(len(left), len(right), config.strategy):
+                product = apply_left(product) if token == LEFT else apply_right(product)
+                max_nodes = max(max_nodes, package.count_nodes(product))
+
+        scalar = package.identity_scalar(product, config.tolerance)
+        details = {
+            "max_nodes": max_nodes,
+            "final_nodes": package.count_nodes(product),
+            "num_gates_first": len(left),
+            "num_gates_second": len(right),
+            "dd_statistics": package.statistics(),
+        }
+        return self._criterion_from_scalar(scalar, config.tolerance), details
+
+    def _alternating_dense(self, first: QuantumCircuit, second: QuantumCircuit):
+        config = self.configuration
+        num_qubits = first.num_qubits
+        dim = 1 << num_qubits
+        left, right = self._gate_lists(first, second)
+        product = np.eye(dim, dtype=complex)
+
+        left_matrices = (self._dense_gate(inst, num_qubits) for inst in left)
+        right_matrices = (
+            self._dense_gate(_inverse_instruction(inst), num_qubits) for inst in right
+        )
+        for token in alternating_schedule(len(left), len(right), self._dense_strategy()):
+            if token == LEFT:
+                product = next(left_matrices) @ product
+            else:
+                product = product @ next(right_matrices)
+
+        details = {"num_gates_first": len(left), "num_gates_second": len(right)}
+        return self._criterion_from_matrix(product, config.tolerance), details
+
+    def _dense_strategy(self) -> str:
+        # Lookahead is a DD-size heuristic; on the dense backend it degenerates
+        # to the proportional schedule.
+        if self.configuration.strategy == "lookahead":
+            return "proportional"
+        return self.configuration.strategy
+
+    def _construction(self, first: QuantumCircuit, second: QuantumCircuit):
+        config = self.configuration
+        if config.backend == "dd":
+            package = DDPackage(first.num_qubits)
+            from repro.dd.circuits import circuit_to_unitary_dd
+
+            unitary_first = circuit_to_unitary_dd(package, first)
+            unitary_second_inverse = circuit_to_unitary_dd(
+                package, second.remove_final_measurements().inverse()
+            )
+            product = package.multiply_matrices(unitary_first, unitary_second_inverse)
+            scalar = package.identity_scalar(product, config.tolerance)
+            details = {
+                "nodes_first": package.count_nodes(unitary_first),
+                "nodes_second": package.count_nodes(unitary_second_inverse),
+                "final_nodes": package.count_nodes(product),
+            }
+            return self._criterion_from_scalar(scalar, config.tolerance), details
+
+        unitary_first = circuit_unitary(first)
+        unitary_second = circuit_unitary(second)
+        fidelity = process_fidelity(unitary_first, unitary_second)
+        details = {"process_fidelity": fidelity}
+        if fidelity > 1.0 - config.tolerance:
+            phase_free = np.allclose(unitary_first, unitary_second, atol=math_sqrt_tol(config.tolerance))
+            criterion = (
+                EquivalenceCriterion.EQUIVALENT
+                if phase_free
+                else EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE
+            )
+            return criterion, details
+        return EquivalenceCriterion.NOT_EQUIVALENT, details
+
+    def _simulation(self, first: QuantumCircuit, second: QuantumCircuit):
+        config = self.configuration
+        passed, details = run_simulative_check(
+            first,
+            second,
+            backend=config.backend,
+            num_simulations=config.num_simulations,
+            stimuli_type=config.stimuli_type,
+            tolerance=config.tolerance,
+            seed=config.seed,
+        )
+        criterion = (
+            EquivalenceCriterion.PROBABLY_EQUIVALENT
+            if passed
+            else EquivalenceCriterion.NOT_EQUIVALENT
+        )
+        return criterion, details
+
+    # ------------------------------------------------------------------
+    # verdict helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _dense_gate(instruction: Instruction, num_qubits: int) -> np.ndarray:
+        gate = instruction.operation
+        assert isinstance(gate, Gate)
+        if gate.num_qubits == 0:
+            return complex(gate.matrix[0, 0]) * np.eye(1 << num_qubits, dtype=complex)
+        return embed_gate_matrix(gate.matrix, instruction.qubits, num_qubits)
+
+    @staticmethod
+    def _criterion_from_scalar(scalar: complex | None, tolerance: float) -> EquivalenceCriterion:
+        if scalar is None:
+            return EquivalenceCriterion.NOT_EQUIVALENT
+        if abs(scalar - 1.0) <= tolerance:
+            return EquivalenceCriterion.EQUIVALENT
+        if abs(abs(scalar) - 1.0) <= tolerance:
+            return EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE
+        return EquivalenceCriterion.NOT_EQUIVALENT
+
+    @staticmethod
+    def _criterion_from_matrix(matrix: np.ndarray, tolerance: float) -> EquivalenceCriterion:
+        dim = matrix.shape[0]
+        identity = np.eye(dim, dtype=complex)
+        if np.allclose(matrix, identity, atol=tolerance):
+            return EquivalenceCriterion.EQUIVALENT
+        scalar = np.trace(matrix) / dim
+        if abs(abs(scalar) - 1.0) <= tolerance and np.allclose(
+            matrix, scalar * identity, atol=tolerance * 10
+        ):
+            return EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE
+        return EquivalenceCriterion.NOT_EQUIVALENT
+
+
+def math_sqrt_tol(tolerance: float) -> float:
+    """Absolute tolerance used for exact (phase-sensitive) matrix comparisons."""
+    return max(tolerance, 1e-9)
+
+
+def check_equivalence(
+    first: QuantumCircuit,
+    second: QuantumCircuit,
+    configuration: Configuration | None = None,
+    *,
+    qubit_permutation: dict[int, int] | None = None,
+    **overrides,
+) -> EquivalenceCheckResult:
+    """Check whether two circuits are functionally equivalent.
+
+    Dynamic circuits are transformed to unitary circuits first (Scheme 1 of
+    the paper).  Keyword overrides are forwarded to
+    :class:`~repro.core.configuration.Configuration`.
+
+    Examples
+    --------
+    >>> from repro.circuit import QuantumCircuit
+    >>> bell = QuantumCircuit(2); _ = bell.h(0); _ = bell.cx(0, 1)
+    >>> same = QuantumCircuit(2); _ = same.h(0); _ = same.cx(0, 1)
+    >>> check_equivalence(bell, same).equivalent
+    True
+    """
+    checker = EquivalenceChecker(configuration, **overrides)
+    return checker.run(first, second, qubit_permutation=qubit_permutation)
+
+
+#: Short alias mirroring the naming of the QCEC command-line tool.
+verify = check_equivalence
+
+
+def check_behavioural_equivalence(
+    first: QuantumCircuit,
+    second: QuantumCircuit,
+    initial_state: "str | int | None" = None,
+    *,
+    backend: str = "statevector",
+    tolerance: float = 1e-7,
+    prune_threshold: float = 1e-12,
+) -> EquivalenceCheckResult:
+    """Check whether two circuits produce the same outcome distribution.
+
+    This is Scheme 2 of the paper: for the fixed ``initial_state`` the
+    complete measurement-outcome distribution of each circuit is extracted via
+    branching classical simulation and the two distributions are compared by
+    total-variation distance.  Both circuits may freely contain dynamic
+    primitives; they must measure the same number of classical bits.
+    """
+    if first.num_clbits != second.num_clbits:
+        raise EquivalenceCheckingError(
+            "the circuits measure different numbers of classical bits "
+            f"({first.num_clbits} vs {second.num_clbits})"
+        )
+    start = time.perf_counter()
+    first_result = extract_distribution(
+        first, initial_state, backend=backend, prune_threshold=prune_threshold
+    )
+    second_result = extract_distribution(
+        second, initial_state, backend=backend, prune_threshold=prune_threshold
+    )
+    distance = total_variation_distance(first_result.distribution, second_result.distribution)
+    fidelity = classical_fidelity(first_result.distribution, second_result.distribution)
+    time_check = time.perf_counter() - start
+
+    criterion = (
+        EquivalenceCriterion.PROBABLY_EQUIVALENT
+        if distance <= tolerance
+        else EquivalenceCriterion.NOT_EQUIVALENT
+    )
+    details = {
+        "total_variation_distance": distance,
+        "classical_fidelity": fidelity,
+        "distribution_first": first_result.distribution,
+        "distribution_second": second_result.distribution,
+        "num_paths_first": first_result.num_paths,
+        "num_paths_second": second_result.num_paths,
+        "time_extract_first": first_result.time_taken,
+        "time_extract_second": second_result.time_taken,
+    }
+    return EquivalenceCheckResult(
+        criterion=criterion,
+        method="distribution",
+        backend=backend,
+        time_transformation=0.0,
+        time_check=time_check,
+        details=details,
+    )

@@ -1,0 +1,90 @@
+"""Result types of the equivalence-checking flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["EquivalenceCheckResult", "EquivalenceCriterion"]
+
+
+class EquivalenceCriterion(Enum):
+    """Outcome of an equivalence check.
+
+    ``EQUIVALENT`` and ``EQUIVALENT_UP_TO_GLOBAL_PHASE`` are definitive
+    positive answers from a functional check; ``PROBABLY_EQUIVALENT`` is the
+    verdict of the simulative/behavioural checks (no counterexample found);
+    ``NOT_EQUIVALENT`` is a definitive negative answer; ``NO_INFORMATION``
+    means the configured flow could not decide.
+    """
+
+    EQUIVALENT = "equivalent"
+    EQUIVALENT_UP_TO_GLOBAL_PHASE = "equivalent_up_to_global_phase"
+    PROBABLY_EQUIVALENT = "probably_equivalent"
+    NOT_EQUIVALENT = "not_equivalent"
+    NO_INFORMATION = "no_information"
+
+    @property
+    def considered_equivalent(self) -> bool:
+        """Whether this outcome counts as a successful verification."""
+        return self in (
+            EquivalenceCriterion.EQUIVALENT,
+            EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE,
+            EquivalenceCriterion.PROBABLY_EQUIVALENT,
+        )
+
+
+@dataclass
+class EquivalenceCheckResult:
+    """Outcome and bookkeeping of one equivalence check.
+
+    Attributes
+    ----------
+    criterion:
+        The verdict.
+    method:
+        Which check produced the verdict (``alternating``, ``construction``,
+        ``simulation`` or ``distribution``).
+    backend:
+        ``dd`` or ``dense``.
+    strategy:
+        Application strategy used by the alternating scheme (if any).
+    time_transformation:
+        Seconds spent transforming dynamic circuits into unitary ones
+        (``t_trans`` in Table 1 of the paper); zero when no transformation was
+        necessary.
+    time_check:
+        Seconds spent on the actual check (``t_ver`` in Table 1).
+    details:
+        Free-form diagnostic values (DD sizes, fidelities, distributions, ...).
+    """
+
+    criterion: EquivalenceCriterion
+    method: str
+    backend: str = "dd"
+    strategy: str | None = None
+    time_transformation: float = 0.0
+    time_check: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        """Whether the circuits were found equivalent (possibly up to phase)."""
+        return self.criterion.considered_equivalent
+
+    @property
+    def total_time(self) -> float:
+        """Transformation plus check time."""
+        return self.time_transformation + self.time_check
+
+    def __str__(self) -> str:
+        pieces = [
+            f"{self.criterion.value}",
+            f"method={self.method}",
+            f"backend={self.backend}",
+        ]
+        if self.strategy:
+            pieces.append(f"strategy={self.strategy}")
+        pieces.append(f"t_trans={self.time_transformation:.6f}s")
+        pieces.append(f"t_check={self.time_check:.6f}s")
+        return "EquivalenceCheckResult(" + ", ".join(pieces) + ")"

@@ -1,0 +1,270 @@
+"""Scheme 1: unitary reconstruction through circuit transformation (Section 4).
+
+Dynamic circuits contain three non-unitary primitives: resets, mid-circuit
+measurements and classically-controlled operations.  This module removes them
+in two steps:
+
+1. :func:`substitute_resets` replaces every reset by a *fresh* qubit — all
+   subsequent operations on the reset qubit are rewired to the new qubit, so
+   an ``n``-qubit circuit with ``r`` resets becomes an ``(n + r)``-qubit
+   circuit without resets (qubit re-use is eliminated).
+2. :func:`defer_measurements` applies the deferred measurement principle:
+   every mid-circuit measurement is delayed to the very end of the circuit and
+   every operation classically controlled on its outcome is replaced by the
+   same operation *quantum-controlled* on the measured qubit.
+
+The composition of the two steps, :func:`to_unitary_circuit`, turns any
+dynamic circuit into a circuit containing only unitary gates followed by a
+final measurement layer, so that *any* existing equivalence-checking flow can
+be applied (``U =? U'``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate
+from repro.circuit.operations import ClassicalCondition, Instruction
+from repro.circuit.registers import ClassicalRegister, QuantumRegister
+from repro.exceptions import TransformationError
+
+__all__ = [
+    "TransformationResult",
+    "defer_measurements",
+    "permute_qubits",
+    "substitute_resets",
+    "to_unitary_circuit",
+]
+
+
+@dataclass
+class TransformationResult:
+    """Outcome of :func:`to_unitary_circuit`.
+
+    Attributes
+    ----------
+    circuit:
+        The reconstructed, purely unitary circuit (with a trailing measurement
+        layer so that the classical outputs remain observable).
+    num_original_qubits / num_added_qubits:
+        Qubit bookkeeping: ``num_added_qubits`` equals the number of resets of
+        the original circuit.
+    measurement_sources:
+        Maps each classical bit to the qubit that is measured into it at the
+        end of the reconstructed circuit (classical bits that are never
+        written are absent).
+    time_taken:
+        Wall-clock seconds spent on the transformation (``t_trans``).
+    """
+
+    circuit: QuantumCircuit
+    num_original_qubits: int
+    num_added_qubits: int
+    measurement_sources: dict[int, int] = field(default_factory=dict)
+    time_taken: float = 0.0
+
+
+def _fresh_register_name(circuit: QuantumCircuit, base: str) -> str:
+    existing = {reg.name for reg in circuit.qregs} | {reg.name for reg in circuit.cregs}
+    if base not in existing:
+        return base
+    suffix = 0
+    while f"{base}{suffix}" in existing:
+        suffix += 1
+    return f"{base}{suffix}"
+
+
+def substitute_resets(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Eliminate qubit re-use by giving every reset a fresh qubit.
+
+    The fresh qubits are appended after the original ones, in the order in
+    which the resets appear in the circuit.  Resetting a qubit that is still
+    in its initial |0> state (i.e. was never operated on) is a no-op and does
+    not consume a fresh qubit.
+    """
+    if circuit.num_resets == 0:
+        return circuit.copy()
+
+    # First pass: rewrite the instruction stream onto a (possibly) larger
+    # qubit index space.  current[q] is the qubit currently playing the role
+    # of original qubit q; every *effective* reset (one whose qubit has been
+    # touched before) advances it to the next fresh index.
+    current = list(range(circuit.num_qubits))
+    touched: set[int] = set()
+    next_fresh = circuit.num_qubits
+    rewritten: list[Instruction] = []
+
+    for instruction in circuit:
+        if instruction.is_reset:
+            original = instruction.qubits[0]
+            if current[original] not in touched:
+                # The qubit is still in |0>; the reset has no effect.
+                continue
+            current[original] = next_fresh
+            next_fresh += 1
+            continue
+        mapped_qubits = tuple(current[q] for q in instruction.qubits)
+        if not instruction.is_barrier:
+            touched.update(mapped_qubits)
+        rewritten.append(
+            Instruction(instruction.operation, mapped_qubits, instruction.clbits, instruction.condition)
+        )
+
+    num_fresh = next_fresh - circuit.num_qubits
+    result = QuantumCircuit(name=f"{circuit.name}_no_reset")
+    for register in circuit.qregs:
+        result.add_register(register)
+    if num_fresh:
+        result.add_register(
+            QuantumRegister(num_fresh, _fresh_register_name(circuit, "reset_anc"))
+        )
+    for register in circuit.cregs:
+        result.add_register(register)
+    for instruction in rewritten:
+        result.append_instruction(instruction)
+    return result
+
+
+def defer_measurements(circuit: QuantumCircuit) -> tuple[QuantumCircuit, dict[int, int]]:
+    """Delay all measurements to the end of the circuit.
+
+    Classically-controlled operations are replaced by quantum-controlled
+    operations on the qubits that source the respective classical bits.  The
+    circuit must not contain resets (run :func:`substitute_resets` first) and
+    a measured qubit must not be acted on afterwards — both conditions hold by
+    construction for circuits produced by :func:`substitute_resets`.
+
+    Returns the deferred circuit and the mapping ``classical bit -> measured
+    qubit`` of the final measurement layer.
+    """
+    if circuit.num_resets:
+        raise TransformationError(
+            "defer_measurements requires a reset-free circuit; run substitute_resets first"
+        )
+
+    result = circuit.copy_empty(name=f"{circuit.name}_deferred")
+
+    # source[c] = qubit whose (pending) measurement defines classical bit c.
+    source: dict[int, int] = {}
+    measured_qubits: set[int] = set()
+
+    for instruction in circuit:
+        if instruction.is_barrier:
+            result.append_instruction(instruction)
+            continue
+        if instruction.is_measurement:
+            qubit = instruction.qubits[0]
+            clbit = instruction.clbits[0]
+            source[clbit] = qubit
+            measured_qubits.add(qubit)
+            continue
+        overlap = measured_qubits.intersection(instruction.qubits)
+        if overlap:
+            raise TransformationError(
+                f"qubit(s) {sorted(overlap)} are used after being measured; the deferred "
+                "measurement principle does not apply (did you forget substitute_resets?)"
+            )
+        if instruction.condition is None:
+            result.append_instruction(instruction)
+            continue
+
+        converted = _classical_to_quantum_control(instruction, source)
+        if converted is not None:
+            result.append_instruction(converted)
+
+    for clbit, qubit in sorted(source.items()):
+        result.measure(qubit, clbit)
+    return result, dict(source)
+
+
+def _classical_to_quantum_control(
+    instruction: Instruction, source: dict[int, int]
+) -> Instruction | None:
+    """Convert one classically-controlled instruction into a quantum-controlled one.
+
+    Returns ``None`` when the condition can never be satisfied (it requires a
+    classical bit that has not been written to be 1).
+    """
+    condition = instruction.condition
+    assert condition is not None
+    gate = instruction.operation
+    if not isinstance(gate, Gate):
+        raise TransformationError(
+            f"cannot defer the non-gate conditioned operation {instruction!r}"
+        )
+
+    control_qubits: list[int] = []
+    control_values: list[int] = []
+    for clbit, required in zip(condition.clbits, condition.bit_values):
+        if clbit in source:
+            control_qubits.append(source[clbit])
+            control_values.append(required)
+        elif required == 1:
+            # The classical bit is still 0 and the condition requires 1: the
+            # operation is never executed.
+            return None
+        # required == 0 on an unwritten bit is trivially satisfied.
+
+    if not control_qubits:
+        return Instruction(gate, instruction.qubits, instruction.clbits)
+
+    conflict = set(control_qubits).intersection(instruction.qubits)
+    if conflict:
+        raise TransformationError(
+            f"cannot convert condition into controls: qubit(s) {sorted(conflict)} would be "
+            "both control and target"
+        )
+    if len(set(control_qubits)) != len(control_qubits):
+        raise TransformationError(
+            "condition references the same source qubit twice; cannot convert to controls"
+        )
+
+    ctrl_state = 0
+    for position, value in enumerate(control_values):
+        ctrl_state |= value << position
+    controlled = gate.control(len(control_qubits), ctrl_state)
+    return Instruction(controlled, tuple(control_qubits) + instruction.qubits)
+
+
+def to_unitary_circuit(circuit: QuantumCircuit) -> TransformationResult:
+    """Full unitary reconstruction: reset substitution + deferred measurements."""
+    start = time.perf_counter()
+    without_resets = substitute_resets(circuit)
+    deferred, sources = defer_measurements(without_resets)
+    elapsed = time.perf_counter() - start
+    return TransformationResult(
+        circuit=deferred,
+        num_original_qubits=circuit.num_qubits,
+        num_added_qubits=without_resets.num_qubits - circuit.num_qubits,
+        measurement_sources=sources,
+        time_taken=elapsed,
+    )
+
+
+def permute_qubits(circuit: QuantumCircuit, permutation: dict[int, int]) -> QuantumCircuit:
+    """Relabel the qubits of ``circuit`` according to ``permutation``.
+
+    ``permutation[old] = new`` must be a bijection on ``range(num_qubits)``.
+    This is useful when comparing a reconstructed dynamic circuit with a
+    static counterpart whose qubits are ordered differently.
+    """
+    num_qubits = circuit.num_qubits
+    if sorted(permutation.keys()) != list(range(num_qubits)) or sorted(
+        permutation.values()
+    ) != list(range(num_qubits)):
+        raise TransformationError(
+            f"permutation must be a bijection on range({num_qubits}), got {permutation}"
+        )
+    result = QuantumCircuit(
+        QuantumRegister(num_qubits, "q"),
+        *[ClassicalRegister(reg.size, reg.name) for reg in circuit.cregs],
+        name=f"{circuit.name}_permuted",
+    )
+    for instruction in circuit:
+        mapped = tuple(permutation[q] for q in instruction.qubits)
+        result.append_instruction(
+            Instruction(instruction.operation, mapped, instruction.clbits, instruction.condition)
+        )
+    return result

@@ -1,0 +1,28 @@
+"""Decision-diagram (QMDD) package: the data-structure substrate of the
+equivalence checker and of the DD-based simulator."""
+
+from repro.dd.circuits import (
+    apply_instruction_to_vector,
+    circuit_to_unitary_dd,
+    gate_to_dd,
+    instruction_to_dd,
+)
+from repro.dd.complexvalue import DEFAULT_TOLERANCE
+from repro.dd.export import edge_to_dot, summarize_edge
+from repro.dd.nodes import MEdge, MNode, VEdge, VNode
+from repro.dd.package import DDPackage
+
+__all__ = [
+    "DDPackage",
+    "DEFAULT_TOLERANCE",
+    "MEdge",
+    "MNode",
+    "VEdge",
+    "VNode",
+    "apply_instruction_to_vector",
+    "circuit_to_unitary_dd",
+    "edge_to_dot",
+    "gate_to_dd",
+    "instruction_to_dd",
+    "summarize_edge",
+]

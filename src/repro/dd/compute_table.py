@@ -1,0 +1,51 @@
+"""Memoization tables for decision-diagram operations.
+
+Every recursive DD operation (addition, multiplication, inner product, ...)
+keeps its own compute table so that repeated sub-computations — which occur
+constantly because sub-diagrams are shared — are answered in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["ComputeTable"]
+
+
+class ComputeTable:
+    """A simple keyed memoization cache with hit statistics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._table: dict[Any, Any] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def get(self, key):
+        """Return the cached value for ``key`` or ``None``."""
+        self.lookups += 1
+        value = self._table.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Store ``value`` under ``key``."""
+        self._table[key] = value
+
+    def clear(self) -> None:
+        """Drop all cached entries."""
+        self._table.clear()
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ComputeTable({self.name}, size={len(self)}, hit_ratio={self.hit_ratio:.2f})"

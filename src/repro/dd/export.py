@@ -1,0 +1,102 @@
+"""Export of decision diagrams to Graphviz DOT (and simple text statistics).
+
+Useful for debugging and for documentation: the diagrams produced during
+equivalence checking (the near-identity products of the alternating scheme)
+and the compact states of the benchmark algorithms can be rendered with any
+Graphviz viewer.
+"""
+
+from __future__ import annotations
+
+from repro.dd.nodes import MEdge, VEdge
+
+__all__ = ["edge_to_dot", "summarize_edge"]
+
+
+def _format_weight(weight: complex) -> str:
+    real = f"{weight.real:.4g}"
+    imag = f"{abs(weight.imag):.4g}"
+    sign = "+" if weight.imag >= 0 else "-"
+    if abs(weight.imag) < 1e-12:
+        return real
+    if abs(weight.real) < 1e-12:
+        return f"{'-' if weight.imag < 0 else ''}{imag}i"
+    return f"{real}{sign}{imag}i"
+
+
+def edge_to_dot(edge: "VEdge | MEdge", name: str = "dd") -> str:
+    """Render the diagram rooted at ``edge`` as a Graphviz DOT string.
+
+    Vector nodes have two outgoing edges (labelled 0/1), matrix nodes four
+    (labelled 00, 01, 10, 11 as row/column).  Zero edges are omitted; the
+    terminal is drawn as a small box.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;", '  terminal [shape=box, label="1"];']
+    seen: dict[int, str] = {}
+    counter = 0
+
+    def node_identifier(node) -> str:
+        nonlocal counter
+        key = id(node)
+        if key not in seen:
+            seen[key] = f"n{counter}"
+            counter += 1
+            lines.append(f'  {seen[key]} [shape=circle, label="q{node.index}"];')
+        return seen[key]
+
+    def walk(current) -> None:
+        node = current.node
+        if node is None:
+            return
+        identifier = node_identifier(node)
+        arity = len(node.edges)
+        for branch, child in enumerate(node.edges):
+            if child.is_zero:
+                continue
+            if arity == 4:
+                label = f"{branch >> 1}{branch & 1}"
+            else:
+                label = str(branch)
+            weight = _format_weight(child.weight)
+            target = "terminal" if child.node is None else None
+            if target is None:
+                already_seen = id(child.node) in seen
+                target = node_identifier(child.node)
+                if not already_seen:
+                    walk(child)
+            lines.append(f'  {identifier} -> {target} [label="{label}: {weight}"];')
+
+    if edge.is_zero:
+        lines.append('  zero [shape=box, label="0"];')
+    else:
+        root_weight = _format_weight(edge.weight)
+        lines.append(f'  root [shape=point, label=""];')
+        target = "terminal" if edge.node is None else node_identifier(edge.node)
+        lines.append(f'  root -> {target} [label="{root_weight}"];')
+        if edge.node is not None:
+            walk(edge)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summarize_edge(edge: "VEdge | MEdge") -> dict[str, int]:
+    """Return simple structural statistics of a diagram (nodes, edges, depth)."""
+    nodes: set[int] = set()
+    num_edges = 0
+    max_depth = 0
+
+    def walk(current, depth: int) -> None:
+        nonlocal num_edges, max_depth
+        node = current.node
+        max_depth = max(max_depth, depth)
+        if node is None or id(node) in nodes:
+            return
+        nodes.add(id(node))
+        for child in node.edges:
+            if child.is_zero:
+                continue
+            num_edges += 1
+            walk(child, depth + 1)
+
+    walk(edge, 0)
+    return {"nodes": len(nodes), "edges": num_edges, "depth": max_depth}

@@ -1,0 +1,91 @@
+"""Node and edge data structures of the decision-diagram package.
+
+A *vector* DD node has two successor edges (qubit value 0 / 1); a *matrix* DD
+node has four successor edges indexed ``2*row + column`` where ``row`` is the
+output basis value and ``column`` the input basis value of the node's qubit.
+Terminal edges are represented by ``node is None``; the zero vector/matrix is
+the terminal edge with weight 0.
+
+Nodes are only ever created through the package's ``make_*`` methods, which
+normalize the successor weights and hash-cons structurally identical nodes in
+a unique table.  Consequently node identity (``is`` / ``id``) doubles as
+structural equality, which the compute tables rely on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MEdge", "MNode", "VEdge", "VNode"]
+
+
+class VNode:
+    """Vector-DD node for one qubit level."""
+
+    __slots__ = ("index", "edges")
+
+    def __init__(self, index: int, edges: tuple["VEdge", "VEdge"]):
+        self.index = index
+        self.edges = edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VNode(q{self.index})"
+
+
+class MNode:
+    """Matrix-DD node for one qubit level."""
+
+    __slots__ = ("index", "edges")
+
+    def __init__(self, index: int, edges: tuple["MEdge", "MEdge", "MEdge", "MEdge"]):
+        self.index = index
+        self.edges = edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MNode(q{self.index})"
+
+
+class VEdge:
+    """Weighted edge into a vector-DD node (``node is None`` = terminal)."""
+
+    __slots__ = ("node", "weight")
+
+    def __init__(self, node: VNode | None, weight: complex):
+        self.node = node
+        self.weight = complex(weight)
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the edge points to the terminal node."""
+        return self.node is None
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether the edge represents the zero vector."""
+        return self.node is None and self.weight == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = "terminal" if self.node is None else f"q{self.node.index}"
+        return f"VEdge({target}, {self.weight:.4g})"
+
+
+class MEdge:
+    """Weighted edge into a matrix-DD node (``node is None`` = terminal)."""
+
+    __slots__ = ("node", "weight")
+
+    def __init__(self, node: MNode | None, weight: complex):
+        self.node = node
+        self.weight = complex(weight)
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the edge points to the terminal node."""
+        return self.node is None
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether the edge represents the zero matrix."""
+        return self.node is None and self.weight == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        target = "terminal" if self.node is None else f"q{self.node.index}"
+        return f"MEdge({target}, {self.weight:.4g})"

@@ -1,0 +1,573 @@
+"""The decision-diagram package: construction and manipulation of QMDDs.
+
+This module provides the data-structure backend that tools like QCEC are built
+on: quantum states are represented as *vector* decision diagrams and
+operators as *matrix* decision diagrams, both with normalized, hash-consed
+nodes and memoized recursive operations.  For the redundancy-rich diagrams
+that appear during equivalence checking (products of a circuit with the
+inverse of an equivalent circuit stay close to the identity) the
+representation is exponentially more compact than dense arrays.
+
+Conventions
+-----------
+* Qubit 0 is the lowest DD level (closest to the terminal); the top node of a
+  diagram over ``n`` qubits has ``index == n - 1``.
+* Vector/matrix indices are little-endian: bit ``q`` of an index is qubit ``q``.
+* Matrix node successor ``2*row + column`` corresponds to the node qubit having
+  output value ``row`` and input value ``column``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.dd.complexvalue import DEFAULT_TOLERANCE, ckey, is_zero
+from repro.dd.compute_table import ComputeTable
+from repro.dd.nodes import MEdge, MNode, VEdge, VNode
+from repro.dd.unique_table import UniqueTable
+from repro.exceptions import DDError
+
+__all__ = ["DDPackage"]
+
+_P0 = np.array([[1, 0], [0, 0]], dtype=complex)
+_P1 = np.array([[0, 0], [0, 1]], dtype=complex)
+_ID2 = np.eye(2, dtype=complex)
+_X2 = np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+class DDPackage:
+    """A self-contained decision-diagram workspace for ``num_qubits`` qubits.
+
+    All nodes created through one package share its unique table and compute
+    tables; diagrams from different packages must not be mixed.
+    """
+
+    def __init__(self, num_qubits: int, tolerance: float = DEFAULT_TOLERANCE):
+        if num_qubits < 1:
+            raise DDError("a DD package needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.tolerance = tolerance
+        self._vector_table: UniqueTable[VNode] = UniqueTable()
+        self._matrix_table: UniqueTable[MNode] = UniqueTable()
+        self._add_v = ComputeTable("vector-add")
+        self._add_m = ComputeTable("matrix-add")
+        self._mult_mv = ComputeTable("matrix-vector-multiply")
+        self._mult_mm = ComputeTable("matrix-matrix-multiply")
+        self._inner = ComputeTable("inner-product")
+        self._norm = ComputeTable("norm-squared")
+        self._max_entry = ComputeTable("max-entry")
+
+    # ------------------------------------------------------------------
+    # terminals and node construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def zero_vector_edge() -> VEdge:
+        """The zero vector."""
+        return VEdge(None, 0.0)
+
+    @staticmethod
+    def zero_matrix_edge() -> MEdge:
+        """The zero matrix."""
+        return MEdge(None, 0.0)
+
+    def make_vector_node(self, index: int, edges: Sequence[VEdge]) -> VEdge:
+        """Create (or reuse) a normalized vector node and return an edge to it."""
+        edges = tuple(edges)
+        if len(edges) != 2:
+            raise DDError(f"vector nodes have 2 successors, got {len(edges)}")
+        return self._normalize_and_store(index, edges, self._vector_table, VNode, VEdge)
+
+    def make_matrix_node(self, index: int, edges: Sequence[MEdge]) -> MEdge:
+        """Create (or reuse) a normalized matrix node and return an edge to it."""
+        edges = tuple(edges)
+        if len(edges) != 4:
+            raise DDError(f"matrix nodes have 4 successors, got {len(edges)}")
+        return self._normalize_and_store(index, edges, self._matrix_table, MNode, MEdge)
+
+    def _normalize_and_store(self, index, edges, table, node_cls, edge_cls):
+        weights = [edge.weight for edge in edges]
+        magnitudes = [abs(w) for w in weights]
+        largest = max(magnitudes)
+        if is_zero(largest, self.tolerance):
+            return edge_cls(None, 0.0)
+        pivot = magnitudes.index(largest)
+        factor = weights[pivot]
+        normalized = []
+        for edge in edges:
+            if is_zero(edge.weight, self.tolerance):
+                normalized.append(edge_cls(None, 0.0))
+            else:
+                normalized.append(edge_cls(edge.node, edge.weight / factor))
+        node = table.lookup(index, normalized, lambda idx, succ: node_cls(idx, tuple(succ)))
+        return edge_cls(node, factor)
+
+    # ------------------------------------------------------------------
+    # state construction
+    # ------------------------------------------------------------------
+
+    def zero_state(self) -> VEdge:
+        """The all-zeros computational basis state |0...0>."""
+        return self.basis_state(0)
+
+    def basis_state(self, value: "int | Sequence[int]") -> VEdge:
+        """A computational basis state given as an integer or per-qubit bits."""
+        if isinstance(value, int):
+            if not 0 <= value < (1 << self.num_qubits):
+                raise DDError(f"basis state {value} out of range for {self.num_qubits} qubits")
+            bits = [(value >> q) & 1 for q in range(self.num_qubits)]
+        else:
+            bits = list(value)
+            if len(bits) != self.num_qubits:
+                raise DDError(
+                    f"expected {self.num_qubits} bits, got {len(bits)}"
+                )
+        edge = VEdge(None, 1.0)
+        for qubit in range(self.num_qubits):
+            if bits[qubit]:
+                children = (self.zero_vector_edge(), edge)
+            else:
+                children = (edge, self.zero_vector_edge())
+            edge = self.make_vector_node(qubit, children)
+        return edge
+
+    def vector_from_numpy(self, amplitudes: np.ndarray) -> VEdge:
+        """Build a vector DD from a dense amplitude array (little-endian)."""
+        amplitudes = np.asarray(amplitudes, dtype=complex).reshape(-1)
+        if amplitudes.size != (1 << self.num_qubits):
+            raise DDError(
+                f"amplitude vector of length {amplitudes.size} does not match "
+                f"{self.num_qubits} qubits"
+            )
+
+        def build(offset: int, level: int) -> VEdge:
+            if level < 0:
+                return VEdge(None, amplitudes[offset])
+            half = 1 << level
+            low = build(offset, level - 1)
+            high = build(offset + half, level - 1)
+            return self.make_vector_node(level, (low, high))
+
+        return build(0, self.num_qubits - 1)
+
+    # ------------------------------------------------------------------
+    # operator construction
+    # ------------------------------------------------------------------
+
+    def identity(self) -> MEdge:
+        """The identity operator on all qubits."""
+        return self.operator_chain({})
+
+    def operator_chain(self, operators: Mapping[int, np.ndarray]) -> MEdge:
+        """Tensor product of single-qubit operators (identity where omitted).
+
+        ``operators`` maps qubit index to a ``2x2`` matrix.
+        """
+        edge = MEdge(None, 1.0)
+        for qubit in range(self.num_qubits):
+            matrix = operators.get(qubit, _ID2)
+            if matrix.shape != (2, 2):
+                raise DDError(f"operator for qubit {qubit} must be 2x2, got {matrix.shape}")
+            children = (
+                MEdge(edge.node, edge.weight * matrix[0, 0]),
+                MEdge(edge.node, edge.weight * matrix[0, 1]),
+                MEdge(edge.node, edge.weight * matrix[1, 0]),
+                MEdge(edge.node, edge.weight * matrix[1, 1]),
+            )
+            edge = self.make_matrix_node(qubit, children)
+        return edge
+
+    def controlled_gate(
+        self,
+        matrix: np.ndarray,
+        target: int,
+        controls: Mapping[int, int] | None = None,
+    ) -> MEdge:
+        """Matrix DD of a (multi-)controlled single-qubit gate.
+
+        ``controls`` maps control qubits to their activation value (1 for a
+        regular control, 0 for a negative control).  Without controls this is
+        simply the single-qubit operator embedded into the full register.
+        """
+        if matrix.shape != (2, 2):
+            raise DDError(f"controlled_gate expects a 2x2 matrix, got {matrix.shape}")
+        if not 0 <= target < self.num_qubits:
+            raise DDError(f"target qubit {target} out of range")
+        controls = dict(controls or {})
+        if target in controls:
+            raise DDError(f"qubit {target} cannot be both control and target")
+        for qubit, value in controls.items():
+            if not 0 <= qubit < self.num_qubits:
+                raise DDError(f"control qubit {qubit} out of range")
+            if value not in (0, 1):
+                raise DDError(f"control activation value must be 0 or 1, got {value}")
+        if not controls:
+            return self.operator_chain({target: matrix})
+
+        projectors = {qubit: (_P1 if value else _P0) for qubit, value in controls.items()}
+        active = self.operator_chain({**projectors, target: matrix})
+        blocked = self.operator_chain({**projectors, target: _ID2})
+        identity = self.identity()
+        inactive = self.add_matrices(identity, self.scale_matrix(blocked, -1.0))
+        return self.add_matrices(active, inactive)
+
+    @staticmethod
+    def scale_matrix(edge: MEdge, factor: complex) -> MEdge:
+        """Multiply a matrix DD by a scalar."""
+        if edge.is_zero or factor == 0:
+            return MEdge(None, 0.0)
+        return MEdge(edge.node, edge.weight * factor)
+
+    @staticmethod
+    def scale_vector(edge: VEdge, factor: complex) -> VEdge:
+        """Multiply a vector DD by a scalar."""
+        if edge.is_zero or factor == 0:
+            return VEdge(None, 0.0)
+        return VEdge(edge.node, edge.weight * factor)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+
+    def add_vectors(self, left: VEdge, right: VEdge) -> VEdge:
+        """Element-wise sum of two vector DDs."""
+        return self._add(left, right, self._add_v, self.make_vector_node, VEdge, 2)
+
+    def add_matrices(self, left: MEdge, right: MEdge) -> MEdge:
+        """Element-wise sum of two matrix DDs."""
+        return self._add(left, right, self._add_m, self.make_matrix_node, MEdge, 4)
+
+    def _add(self, left, right, table, make_node, edge_cls, arity):
+        if left.is_zero:
+            return right
+        if right.is_zero:
+            return left
+        if left.is_terminal and right.is_terminal:
+            return edge_cls(None, left.weight + right.weight)
+        if left.is_terminal or right.is_terminal:
+            raise DDError("cannot add diagrams of different depth")
+        if left.node.index != right.node.index:
+            raise DDError(
+                f"cannot add diagrams rooted at different levels "
+                f"({left.node.index} vs {right.node.index})"
+            )
+        ratio = right.weight / left.weight
+        key = (id(left.node), id(right.node), ckey(ratio))
+        cached = table.get(key)
+        if cached is not None:
+            return edge_cls(cached.node, cached.weight * left.weight)
+        children = []
+        for branch in range(arity):
+            left_child = left.node.edges[branch]
+            right_child = right.node.edges[branch]
+            scaled_right = edge_cls(right_child.node, right_child.weight * ratio)
+            children.append(self._add(left_child, scaled_right, table, make_node, edge_cls, arity))
+        relative = make_node(left.node.index, children)
+        table.put(key, relative)
+        return edge_cls(relative.node, relative.weight * left.weight)
+
+    def multiply_matrix_vector(self, matrix: MEdge, vector: VEdge) -> VEdge:
+        """Apply a matrix DD to a vector DD."""
+        if matrix.is_zero or vector.is_zero:
+            return VEdge(None, 0.0)
+        if matrix.is_terminal and vector.is_terminal:
+            return VEdge(None, matrix.weight * vector.weight)
+        if matrix.is_terminal or vector.is_terminal:
+            raise DDError("matrix and vector diagrams must have the same depth")
+        if matrix.node.index != vector.node.index:
+            raise DDError(
+                f"matrix level {matrix.node.index} does not match vector level "
+                f"{vector.node.index}"
+            )
+        factor = matrix.weight * vector.weight
+        key = (id(matrix.node), id(vector.node))
+        cached = self._mult_mv.get(key)
+        if cached is None:
+            children = []
+            for row in range(2):
+                total = self.zero_vector_edge()
+                for column in range(2):
+                    product = self.multiply_matrix_vector(
+                        matrix.node.edges[2 * row + column], vector.node.edges[column]
+                    )
+                    total = self.add_vectors(total, product)
+                children.append(total)
+            cached = self.make_vector_node(matrix.node.index, children)
+            self._mult_mv.put(key, cached)
+        return VEdge(cached.node, cached.weight * factor)
+
+    def multiply_matrices(self, left: MEdge, right: MEdge) -> MEdge:
+        """Matrix product ``left @ right`` of two matrix DDs."""
+        if left.is_zero or right.is_zero:
+            return MEdge(None, 0.0)
+        if left.is_terminal and right.is_terminal:
+            return MEdge(None, left.weight * right.weight)
+        if left.is_terminal or right.is_terminal:
+            raise DDError("matrix diagrams must have the same depth")
+        if left.node.index != right.node.index:
+            raise DDError(
+                f"cannot multiply diagrams rooted at different levels "
+                f"({left.node.index} vs {right.node.index})"
+            )
+        factor = left.weight * right.weight
+        key = (id(left.node), id(right.node))
+        cached = self._mult_mm.get(key)
+        if cached is None:
+            children = []
+            for row in range(2):
+                for column in range(2):
+                    total = self.zero_matrix_edge()
+                    for middle in range(2):
+                        product = self.multiply_matrices(
+                            left.node.edges[2 * row + middle],
+                            right.node.edges[2 * middle + column],
+                        )
+                        total = self.add_matrices(total, product)
+                    children.append(total)
+            cached = self.make_matrix_node(left.node.index, children)
+            self._mult_mm.put(key, cached)
+        return MEdge(cached.node, cached.weight * factor)
+
+    # ------------------------------------------------------------------
+    # inner products, norms, probabilities
+    # ------------------------------------------------------------------
+
+    def inner_product(self, left: VEdge, right: VEdge) -> complex:
+        """Return ``<left|right>``."""
+        if left.is_zero or right.is_zero:
+            return 0.0
+        if left.is_terminal and right.is_terminal:
+            return left.weight.conjugate() * right.weight
+        if left.is_terminal or right.is_terminal:
+            raise DDError("states must have the same number of qubits")
+        if left.node.index != right.node.index:
+            raise DDError("states must be rooted at the same level")
+        key = (id(left.node), id(right.node))
+        cached = self._inner.get(key)
+        if cached is None:
+            cached = sum(
+                self.inner_product(left.node.edges[branch], right.node.edges[branch])
+                for branch in range(2)
+            )
+            self._inner.put(key, cached)
+        return left.weight.conjugate() * right.weight * cached
+
+    def fidelity(self, left: VEdge, right: VEdge) -> float:
+        """Return ``|<left|right>|**2``."""
+        return abs(self.inner_product(left, right)) ** 2
+
+    def norm_squared(self, vector: VEdge) -> float:
+        """Squared Euclidean norm of a vector DD."""
+        if vector.is_zero:
+            return 0.0
+        if vector.is_terminal:
+            return abs(vector.weight) ** 2
+        key = id(vector.node)
+        cached = self._norm.get(key)
+        if cached is None:
+            cached = sum(self.norm_squared(edge) for edge in vector.node.edges)
+            self._norm.put(key, cached)
+        return abs(vector.weight) ** 2 * cached
+
+    def probability_of_one(self, vector: VEdge, qubit: int) -> float:
+        """Probability that measuring ``qubit`` of ``vector`` yields 1."""
+        if not 0 <= qubit < self.num_qubits:
+            raise DDError(f"qubit {qubit} out of range")
+
+        def recurse(edge: VEdge) -> float:
+            if edge.is_zero:
+                return 0.0
+            if edge.is_terminal or edge.node.index < qubit:
+                raise DDError("vector does not cover the requested qubit")
+            if edge.node.index == qubit:
+                return abs(edge.weight) ** 2 * self.norm_squared(edge.node.edges[1])
+            return abs(edge.weight) ** 2 * (
+                recurse(edge.node.edges[0]) + recurse(edge.node.edges[1])
+            )
+
+        return recurse(vector)
+
+    def collapse(
+        self, vector: VEdge, qubit: int, outcome: int, probability: float | None = None
+    ) -> VEdge:
+        """Project ``vector`` onto ``qubit == outcome`` and renormalize."""
+        if outcome not in (0, 1):
+            raise DDError(f"measurement outcome must be 0 or 1, got {outcome}")
+        if probability is None:
+            p_one = self.probability_of_one(vector, qubit)
+            probability = p_one if outcome else 1.0 - p_one
+        if probability <= 0.0:
+            raise DDError(f"cannot collapse onto outcome {outcome} with probability 0")
+        projector = self.operator_chain({qubit: _P1 if outcome else _P0})
+        projected = self.multiply_matrix_vector(projector, vector)
+        return self.scale_vector(projected, 1.0 / math.sqrt(probability))
+
+    def apply_reset(self, vector: VEdge, qubit: int) -> list[tuple[float, VEdge]]:
+        """Decompose a reset of ``qubit`` into its pure branches.
+
+        Returns ``(probability, post-reset state)`` pairs with the qubit in
+        |0>; zero-probability branches are omitted.
+        """
+        p_one = self.probability_of_one(vector, qubit)
+        branches: list[tuple[float, VEdge]] = []
+        if 1.0 - p_one > 0.0:
+            branches.append((1.0 - p_one, self.collapse(vector, qubit, 0, 1.0 - p_one)))
+        if p_one > 0.0:
+            collapsed = self.collapse(vector, qubit, 1, p_one)
+            flip = self.operator_chain({qubit: _X2})
+            branches.append((p_one, self.multiply_matrix_vector(flip, collapsed)))
+        return branches
+
+    # ------------------------------------------------------------------
+    # matrix queries
+    # ------------------------------------------------------------------
+
+    def trace(self, matrix: MEdge) -> complex:
+        """Trace of a matrix DD over the full register."""
+        if matrix.is_zero:
+            return 0.0
+        if matrix.is_terminal:
+            return matrix.weight
+        return matrix.weight * (
+            self.trace(matrix.node.edges[0]) + self.trace(matrix.node.edges[3])
+        )
+
+    def max_entry_magnitude(self, matrix: MEdge) -> float:
+        """Largest absolute value of any entry of the represented matrix."""
+        if matrix.is_zero:
+            return 0.0
+        if matrix.is_terminal:
+            return abs(matrix.weight)
+        key = id(matrix.node)
+        cached = self._max_entry.get(key)
+        if cached is None:
+            cached = max(self.max_entry_magnitude(edge) for edge in matrix.node.edges)
+            self._max_entry.put(key, cached)
+        return abs(matrix.weight) * cached
+
+    def identity_scalar(self, matrix: MEdge, tolerance: float = 1e-7) -> complex | None:
+        """Return ``c`` if the matrix equals ``c * I`` (within tolerance), else None."""
+
+        cache: dict[int, complex | None] = {}
+
+        def recurse(edge: MEdge) -> complex | None:
+            if edge.is_zero:
+                return 0.0
+            if edge.is_terminal:
+                return edge.weight
+            key = id(edge.node)
+            if key in cache:
+                scalar = cache[key]
+            else:
+                scalar = self._identity_scalar_of_node(edge.node, tolerance, recurse)
+                cache[key] = scalar
+            if scalar is None:
+                return None
+            return edge.weight * scalar
+
+        return recurse(matrix)
+
+    def _identity_scalar_of_node(self, node: MNode, tolerance: float, recurse) -> complex | None:
+        if self.max_entry_magnitude(node.edges[1]) > tolerance:
+            return None
+        if self.max_entry_magnitude(node.edges[2]) > tolerance:
+            return None
+        diag_low = recurse(node.edges[0])
+        diag_high = recurse(node.edges[3])
+        if diag_low is None or diag_high is None:
+            return None
+        if abs(diag_low - diag_high) > tolerance:
+            return None
+        return diag_low
+
+    def is_identity(
+        self, matrix: MEdge, up_to_global_phase: bool = True, tolerance: float = 1e-7
+    ) -> bool:
+        """Whether the matrix DD represents the identity (optionally up to phase)."""
+        scalar = self.identity_scalar(matrix, tolerance)
+        if scalar is None:
+            return False
+        if up_to_global_phase:
+            return abs(abs(scalar) - 1.0) <= tolerance
+        return abs(scalar - 1.0) <= tolerance
+
+    # ------------------------------------------------------------------
+    # conversion and inspection
+    # ------------------------------------------------------------------
+
+    def vector_to_numpy(self, vector: VEdge) -> np.ndarray:
+        """Expand a vector DD into a dense amplitude array (little-endian)."""
+
+        def recurse(edge: VEdge, level: int) -> np.ndarray:
+            size = 1 << (level + 1)
+            if edge.is_zero:
+                return np.zeros(size, dtype=complex)
+            if level < 0:
+                return np.array([edge.weight], dtype=complex)
+            result = np.concatenate(
+                [recurse(edge.node.edges[0], level - 1), recurse(edge.node.edges[1], level - 1)]
+            )
+            return edge.weight * result
+
+        return recurse(vector, self.num_qubits - 1)
+
+    def matrix_to_numpy(self, matrix: MEdge) -> np.ndarray:
+        """Expand a matrix DD into a dense array (little-endian indices)."""
+
+        def recurse(edge: MEdge, level: int) -> np.ndarray:
+            size = 1 << (level + 1)
+            if edge.is_zero:
+                return np.zeros((size, size), dtype=complex)
+            if level < 0:
+                return np.array([[edge.weight]], dtype=complex)
+            blocks = [recurse(child, level - 1) for child in edge.node.edges]
+            top = np.concatenate([blocks[0], blocks[1]], axis=1)
+            bottom = np.concatenate([blocks[2], blocks[3]], axis=1)
+            return edge.weight * np.concatenate([top, bottom], axis=0)
+
+        return recurse(matrix, self.num_qubits - 1)
+
+    @staticmethod
+    def count_nodes(edge: "VEdge | MEdge") -> int:
+        """Number of distinct nodes reachable from ``edge`` (excluding the terminal)."""
+        seen: set[int] = set()
+
+        def walk(current) -> None:
+            node = current.node
+            if node is None or id(node) in seen:
+                return
+            seen.add(id(node))
+            for child in node.edges:
+                walk(child)
+
+        walk(edge)
+        return len(seen)
+
+    def statistics(self) -> dict[str, float]:
+        """Table sizes and cache hit ratios (for reporting and benchmarks)."""
+        return {
+            "vector_nodes": len(self._vector_table),
+            "matrix_nodes": len(self._matrix_table),
+            "vector_unique_hit_ratio": self._vector_table.hit_ratio,
+            "matrix_unique_hit_ratio": self._matrix_table.hit_ratio,
+            "add_vector_cache": len(self._add_v),
+            "add_matrix_cache": len(self._add_m),
+            "multiply_mv_cache": len(self._mult_mv),
+            "multiply_mm_cache": len(self._mult_mm),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop all compute tables (unique tables are kept)."""
+        for table in (
+            self._add_v,
+            self._add_m,
+            self._mult_mv,
+            self._mult_mm,
+            self._inner,
+            self._norm,
+            self._max_entry,
+        ):
+            table.clear()

@@ -1,0 +1,63 @@
+"""Unique (hash-consing) table for decision-diagram nodes.
+
+The unique table guarantees that two structurally identical nodes — same qubit
+level, same successor nodes, numerically identical successor weights — are
+represented by the *same* Python object.  This canonicity is what makes node
+identity usable as structural equality and what keeps diagrams compact.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from repro.dd.complexvalue import ckey
+
+__all__ = ["UniqueTable"]
+
+NodeT = TypeVar("NodeT")
+
+
+class UniqueTable(Generic[NodeT]):
+    """Hash-consing table mapping (level, successor signature) to a node."""
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, NodeT] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    @staticmethod
+    def _signature(index: int, edges) -> tuple:
+        return (
+            index,
+            tuple((id(edge.node) if edge.node is not None else 0, ckey(edge.weight)) for edge in edges),
+        )
+
+    def lookup(self, index: int, edges, factory) -> NodeT:
+        """Return the canonical node for ``(index, edges)``.
+
+        ``factory`` is called to create the node if no structurally identical
+        node exists yet.
+        """
+        self.lookups += 1
+        key = self._signature(index, edges)
+        node = self._table.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        node = factory(index, edges)
+        self._table[key] = node
+        return node
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Drop all nodes (used when a package is reset between runs)."""
+        self._table.clear()
+        self.lookups = 0
+        self.hits = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups answered from the table."""
+        return self.hits / self.lookups if self.lookups else 0.0

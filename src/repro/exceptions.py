@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+users can catch library failures with a single ``except`` clause while still
+being able to distinguish circuit-construction problems from verification
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class CircuitError(ReproError):
+    """Raised when a quantum circuit is constructed or manipulated incorrectly."""
+
+
+class QasmError(CircuitError):
+    """Raised when OpenQASM text cannot be parsed or emitted."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator is asked to do something it cannot do."""
+
+
+class DDError(ReproError):
+    """Raised on internal decision-diagram inconsistencies or misuse."""
+
+
+class TransformationError(ReproError):
+    """Raised when a dynamic circuit cannot be transformed to a unitary one."""
+
+
+class ExtractionError(ReproError):
+    """Raised when the measurement-outcome distribution cannot be extracted."""
+
+
+class EquivalenceCheckingError(ReproError):
+    """Raised when an equivalence check cannot be carried out as configured."""
+
+
+class CompilationError(ReproError):
+    """Raised when a compilation pass fails (e.g. unroutable coupling map)."""

@@ -1,0 +1,36 @@
+"""Classical simulation backends.
+
+* :class:`Statevector` / :class:`StatevectorSimulator` — dense numpy reference.
+* :class:`DDState` / :class:`DDSimulator` — decision-diagram backend.
+* :class:`DensityMatrixSimulator` — ensemble density-matrix baseline for
+  dynamic circuits.
+* :class:`StochasticSimulator` — shot-based trajectory baseline for dynamic
+  circuits.
+* :func:`circuit_unitary` — dense system-matrix construction (ground truth for
+  small circuits).
+"""
+
+from repro.simulators.dd_simulator import DDSimulator, DDState
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.statevector import Statevector, StatevectorSimulator, apply_matrix_to_state
+from repro.simulators.stochastic import StochasticSimulator
+from repro.simulators.unitary import (
+    circuit_unitary,
+    embed_gate_matrix,
+    matrices_equal_up_to_global_phase,
+    process_fidelity,
+)
+
+__all__ = [
+    "DDSimulator",
+    "DDState",
+    "DensityMatrixSimulator",
+    "Statevector",
+    "StatevectorSimulator",
+    "StochasticSimulator",
+    "apply_matrix_to_state",
+    "circuit_unitary",
+    "embed_gate_matrix",
+    "matrices_equal_up_to_global_phase",
+    "process_fidelity",
+]

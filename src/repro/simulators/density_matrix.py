@@ -1,0 +1,171 @@
+"""Ensemble density-matrix simulation of dynamic circuits.
+
+Section 5 of the paper discusses density-matrix simulators as one possible —
+but unsatisfying — way of dealing with non-unitaries: they handle resets,
+mid-circuit measurements and classically-controlled operations naturally, but
+a single run only yields the state for one particular set of measurement
+outcomes.  To obtain the *complete* distribution over classical outcomes, the
+simulation has to be split per classical assignment, which is what this
+ensemble simulator does: it tracks one (unnormalized) density matrix per
+reachable classical-bit assignment.
+
+The memory cost is ``O(4**n)`` per branch, so this backend is only usable for
+small qubit counts.  It serves two purposes in this repository:
+
+* ground truth for the extraction scheme (``repro.core.extraction``) in the
+  test suite, and
+* the "rejected baseline" in the ablation benchmark
+  ``benchmarks/bench_ablation_extraction_baselines.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GlobalPhaseGate
+from repro.exceptions import SimulationError
+from repro.simulators.unitary import embed_gate_matrix
+from repro.utils.bits import format_bitstring
+
+__all__ = ["DensityMatrixSimulator"]
+
+
+class DensityMatrixSimulator:
+    """Simulate a (possibly dynamic) circuit with an ensemble of density matrices."""
+
+    def __init__(self, max_qubits: int = 12, probability_threshold: float = 1e-12):
+        self.max_qubits = max_qubits
+        self.probability_threshold = probability_threshold
+
+    def run(
+        self, circuit: QuantumCircuit, initial_state: "int | str | None" = None
+    ) -> dict[str, float]:
+        """Return the distribution over classical-register outcomes.
+
+        The result maps most-significant-first classical bitstrings
+        (``c_{m-1} ... c_0``) to probabilities.  Qubits left unmeasured do not
+        contribute to the key, exactly as on real hardware.
+        """
+        num_qubits = circuit.num_qubits
+        if num_qubits > self.max_qubits:
+            raise SimulationError(
+                f"density-matrix simulation of {num_qubits} qubits exceeds the configured "
+                f"limit of {self.max_qubits} (memory grows as 4**n)"
+            )
+        dim = 1 << num_qubits
+        rho = np.zeros((dim, dim), dtype=complex)
+        start_index = self._initial_index(num_qubits, initial_state)
+        rho[start_index, start_index] = 1.0
+
+        # classical assignment (tuple of bits, least significant first) -> rho
+        branches: dict[tuple[int, ...], np.ndarray] = {
+            tuple([0] * circuit.num_clbits): rho
+        }
+
+        for instruction in circuit:
+            if instruction.is_barrier:
+                continue
+            if instruction.is_measurement:
+                branches = self._apply_measurement(
+                    branches, instruction.qubits[0], instruction.clbits[0], num_qubits
+                )
+            elif instruction.is_reset:
+                branches = {
+                    key: self._apply_reset(rho, instruction.qubits[0], num_qubits)
+                    for key, rho in branches.items()
+                }
+            else:
+                gate = instruction.operation
+                if not isinstance(gate, Gate):
+                    raise SimulationError(f"unexpected instruction {instruction!r}")
+                branches = self._apply_gate(branches, gate, instruction)
+        distribution: dict[str, float] = {}
+        for classical_values, rho in branches.items():
+            probability = float(np.real(np.trace(rho)))
+            if probability <= self.probability_threshold:
+                continue
+            key = format_bitstring(classical_values)
+            distribution[key] = distribution.get(key, 0.0) + probability
+        return distribution
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _initial_index(num_qubits: int, initial_state: "int | str | None") -> int:
+        if initial_state is None:
+            return 0
+        if isinstance(initial_state, str):
+            if len(initial_state) != num_qubits:
+                raise SimulationError(
+                    f"initial bitstring {initial_state!r} does not match {num_qubits} qubits"
+                )
+            return int(initial_state, 2) if initial_state else 0
+        index = int(initial_state)
+        if not 0 <= index < (1 << num_qubits):
+            raise SimulationError(f"initial basis state {index} out of range")
+        return index
+
+    def _apply_gate(
+        self,
+        branches: dict[tuple[int, ...], np.ndarray],
+        gate: Gate,
+        instruction,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        result: dict[tuple[int, ...], np.ndarray] = {}
+        num_qubits = None
+        full = None
+        for classical_values, rho in branches.items():
+            if instruction.condition is not None and not instruction.condition.is_satisfied(
+                classical_values
+            ):
+                result[classical_values] = rho
+                continue
+            if isinstance(gate, GlobalPhaseGate):
+                result[classical_values] = rho
+                continue
+            if full is None:
+                num_qubits = int(round(np.log2(rho.shape[0])))
+                full = embed_gate_matrix(gate.matrix, instruction.qubits, num_qubits)
+            result[classical_values] = full @ rho @ full.conj().T
+        return result
+
+    def _apply_measurement(
+        self,
+        branches: dict[tuple[int, ...], np.ndarray],
+        qubit: int,
+        clbit: int,
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        projector_zero = embed_gate_matrix(
+            np.array([[1, 0], [0, 0]], dtype=complex), [qubit], num_qubits
+        )
+        projector_one = embed_gate_matrix(
+            np.array([[0, 0], [0, 1]], dtype=complex), [qubit], num_qubits
+        )
+        result: dict[tuple[int, ...], np.ndarray] = {}
+        for classical_values, rho in branches.items():
+            for outcome, projector in ((0, projector_zero), (1, projector_one)):
+                projected = projector @ rho @ projector
+                probability = float(np.real(np.trace(projected)))
+                if probability <= self.probability_threshold:
+                    continue
+                new_values = list(classical_values)
+                new_values[clbit] = outcome
+                key = tuple(new_values)
+                if key in result:
+                    result[key] = result[key] + projected
+                else:
+                    result[key] = projected
+        return result
+
+    @staticmethod
+    def _apply_reset(rho: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+        projector_zero = embed_gate_matrix(
+            np.array([[1, 0], [0, 0]], dtype=complex), [qubit], num_qubits
+        )
+        lower = embed_gate_matrix(
+            np.array([[0, 1], [0, 0]], dtype=complex), [qubit], num_qubits
+        )
+        # Kraus operators of the reset channel: |0><0| and |0><1|.
+        return projector_zero @ rho @ projector_zero + lower @ rho @ lower.conj().T

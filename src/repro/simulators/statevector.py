@@ -1,0 +1,301 @@
+"""Dense (numpy) statevector simulation.
+
+This is the reference backend: every other backend (decision diagrams, the
+density-matrix ensemble simulator, the stochastic trajectory simulator) is
+cross-validated against it in the test suite.  It also serves as the ``t_sim``
+baseline of Table 1 (classical simulation of the static circuit).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GlobalPhaseGate
+from repro.circuit.operations import Instruction
+from repro.exceptions import SimulationError
+from repro.utils.bits import int_to_bitstring
+
+__all__ = ["Statevector", "StatevectorSimulator", "apply_matrix_to_state"]
+
+
+def apply_matrix_to_state(
+    state: np.ndarray, matrix: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a ``2**k x 2**k`` matrix to ``targets`` of a ``2**n`` state vector.
+
+    The state index is little-endian (bit ``q`` of the index is qubit ``q``);
+    the matrix index interprets ``targets[j]`` as bit ``j`` (the convention of
+    :mod:`repro.circuit.gates`).
+    """
+    k = len(targets)
+    if matrix.shape != (1 << k, 1 << k):
+        raise SimulationError(
+            f"matrix of shape {matrix.shape} does not match {k} target qubit(s)"
+        )
+    if len(set(targets)) != k:
+        raise SimulationError(f"duplicate target qubits: {targets}")
+    if any(not 0 <= t < num_qubits for t in targets):
+        raise SimulationError(f"target qubits {targets} out of range for {num_qubits} qubits")
+    if k == 0:
+        return state * matrix[0, 0]
+
+    tensor = state.reshape((2,) * num_qubits)
+    gate_tensor = matrix.reshape((2,) * (2 * k))
+    # Column axes of the gate tensor are ordered most-significant-first, i.e.
+    # they correspond to targets[k-1], ..., targets[0].
+    state_axes = [num_qubits - 1 - targets[j] for j in reversed(range(k))]
+    col_axes = list(range(k, 2 * k))
+    result = np.tensordot(gate_tensor, tensor, axes=(col_axes, state_axes))
+    # The first k axes of the result are the row axes (targets[k-1] ... targets[0]);
+    # move them back to their original positions.
+    destination = [num_qubits - 1 - targets[j] for j in reversed(range(k))]
+    result = np.moveaxis(result, list(range(k)), destination)
+    return result.reshape(1 << num_qubits)
+
+
+class Statevector:
+    """A pure quantum state over ``num_qubits`` qubits.
+
+    The amplitudes are stored little-endian: amplitude ``data[i]`` belongs to
+    the computational basis state whose qubit ``q`` has value ``(i >> q) & 1``.
+    """
+
+    def __init__(self, data: np.ndarray | Sequence[complex], num_qubits: int | None = None):
+        array = np.asarray(data, dtype=complex).reshape(-1)
+        if num_qubits is None:
+            num_qubits = int(round(math.log2(array.size)))
+        if array.size != (1 << num_qubits):
+            raise SimulationError(
+                f"state of length {array.size} does not match {num_qubits} qubit(s)"
+            )
+        self._data = array
+        self._num_qubits = num_qubits
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """Return |0...0>."""
+        data = np.zeros(1 << num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data, num_qubits)
+
+    @classmethod
+    def basis_state(cls, num_qubits: int, value: int) -> "Statevector":
+        """Return the computational basis state |value> (little-endian integer)."""
+        if not 0 <= value < (1 << num_qubits):
+            raise SimulationError(f"basis state {value} out of range for {num_qubits} qubits")
+        data = np.zeros(1 << num_qubits, dtype=complex)
+        data[value] = 1.0
+        return cls(data, num_qubits)
+
+    @classmethod
+    def from_bitstring(cls, bitstring: str) -> "Statevector":
+        """Return the basis state for a most-significant-first bitstring."""
+        num_qubits = len(bitstring)
+        return cls.basis_state(num_qubits, int(bitstring, 2) if bitstring else 0)
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return self._num_qubits
+
+    @property
+    def data(self) -> np.ndarray:
+        """The amplitude vector (a copy)."""
+        return self._data.copy()
+
+    def copy(self) -> "Statevector":
+        """Deep copy."""
+        return Statevector(self._data.copy(), self._num_qubits)
+
+    def norm(self) -> float:
+        """Euclidean norm of the amplitude vector."""
+        return float(np.linalg.norm(self._data))
+
+    def normalize(self) -> "Statevector":
+        """Return the normalized state (raises on the zero vector)."""
+        norm = self.norm()
+        if norm == 0.0:
+            raise SimulationError("cannot normalize the zero vector")
+        return Statevector(self._data / norm, self._num_qubits)
+
+    # -- evolution -------------------------------------------------------------
+
+    def apply_matrix(self, matrix: np.ndarray, targets: Sequence[int]) -> "Statevector":
+        """Apply a unitary matrix to the given target qubits."""
+        data = apply_matrix_to_state(self._data, matrix, list(targets), self._num_qubits)
+        return Statevector(data, self._num_qubits)
+
+    def apply_gate(self, gate: Gate, qubits: Sequence[int]) -> "Statevector":
+        """Apply a library gate to the given qubits."""
+        if isinstance(gate, GlobalPhaseGate):
+            return Statevector(self._data * np.exp(1j * gate.phase), self._num_qubits)
+        return self.apply_matrix(gate.matrix, qubits)
+
+    def apply_instruction(self, instruction: Instruction) -> "Statevector":
+        """Apply a unitary, unconditioned gate instruction."""
+        if instruction.is_barrier:
+            return self
+        if not instruction.is_gate or instruction.condition is not None:
+            raise SimulationError(
+                f"Statevector.apply_instruction only handles unitary gates, got {instruction!r}"
+            )
+        gate = instruction.operation
+        assert isinstance(gate, Gate)
+        return self.apply_gate(gate, instruction.qubits)
+
+    # -- measurement -----------------------------------------------------------
+
+    def probability_of_one(self, qubit: int) -> float:
+        """Probability of measuring ``qubit`` in state |1>."""
+        if not 0 <= qubit < self._num_qubits:
+            raise SimulationError(f"qubit {qubit} out of range")
+        tensor = np.abs(self._data.reshape((2,) * self._num_qubits)) ** 2
+        axis = self._num_qubits - 1 - qubit
+        marginal = tensor.sum(axis=tuple(a for a in range(self._num_qubits) if a != axis))
+        return float(marginal[1])
+
+    def collapse(self, qubit: int, outcome: int, probability: float | None = None) -> "Statevector":
+        """Project onto ``qubit == outcome`` and renormalize.
+
+        ``probability`` may be passed to avoid recomputing it; a zero
+        probability raises :class:`SimulationError`.
+        """
+        if outcome not in (0, 1):
+            raise SimulationError(f"measurement outcome must be 0 or 1, got {outcome}")
+        if probability is None:
+            p1 = self.probability_of_one(qubit)
+            probability = p1 if outcome == 1 else 1.0 - p1
+        if probability <= 0.0:
+            raise SimulationError(
+                f"cannot collapse qubit {qubit} onto outcome {outcome} with probability 0"
+            )
+        data = self._data.copy().reshape((2,) * self._num_qubits)
+        axis = self._num_qubits - 1 - qubit
+        index = [slice(None)] * self._num_qubits
+        index[axis] = 1 - outcome
+        data[tuple(index)] = 0.0
+        data = data.reshape(1 << self._num_qubits) / math.sqrt(probability)
+        return Statevector(data, self._num_qubits)
+
+    def reset_qubit_outcomes(self, qubit: int) -> list[tuple[float, "Statevector"]]:
+        """Decompose a reset of ``qubit`` into its pure branches.
+
+        Returns up to two ``(probability, post-reset state)`` pairs — one per
+        possible pre-reset value of the qubit.  The post-reset states have the
+        qubit in |0>; branches with zero probability are omitted.
+        """
+        p1 = self.probability_of_one(qubit)
+        branches: list[tuple[float, Statevector]] = []
+        if 1.0 - p1 > 0.0:
+            branches.append((1.0 - p1, self.collapse(qubit, 0, 1.0 - p1)))
+        if p1 > 0.0:
+            collapsed = self.collapse(qubit, 1, p1)
+            from repro.circuit.gates import XGate
+
+            branches.append((p1, collapsed.apply_gate(XGate(), [qubit])))
+        return branches
+
+    # -- read-out ---------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Probabilities of all ``2**n`` computational basis states."""
+        return np.abs(self._data) ** 2
+
+    def probabilities_dict(self, threshold: float = 1e-12) -> dict[str, float]:
+        """Non-negligible basis-state probabilities keyed by bitstring.
+
+        Bitstrings are most-significant-first (qubit ``n-1`` leftmost).
+        """
+        probs = self.probabilities()
+        result: dict[str, float] = {}
+        for index in np.nonzero(probs > threshold)[0]:
+            result[int_to_bitstring(int(index), self._num_qubits)] = float(probs[index])
+        return result
+
+    def sample_counts(self, shots: int, seed: int | None = None) -> dict[str, int]:
+        """Sample measurement outcomes for all qubits."""
+        rng = np.random.default_rng(seed)
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        outcomes = rng.choice(len(probs), size=shots, p=probs)
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            key = int_to_bitstring(int(outcome), self._num_qubits)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def inner_product(self, other: "Statevector") -> complex:
+        """Return ``<self|other>``."""
+        if other.num_qubits != self._num_qubits:
+            raise SimulationError("states must have the same number of qubits")
+        return complex(np.vdot(self._data, other._data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """Return ``|<self|other>|**2``."""
+        return abs(self.inner_product(other)) ** 2
+
+    def equiv(self, other: "Statevector", tolerance: float = 1e-9) -> bool:
+        """Whether the two states are equal up to a global phase."""
+        return self.fidelity(other) > 1.0 - tolerance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Statevector(num_qubits={self._num_qubits})"
+
+
+class StatevectorSimulator:
+    """Simulate unitary circuits (ignoring a trailing measurement layer).
+
+    Dynamic circuits cannot be simulated deterministically by a pure-state
+    simulator — that is exactly the problem Section 5 of the paper addresses.
+    Attempting to do so raises :class:`SimulationError`, pointing the user to
+    the extraction scheme.
+    """
+
+    def run(
+        self, circuit: QuantumCircuit, initial_state: "Statevector | int | str | None" = None
+    ) -> Statevector:
+        """Simulate ``circuit`` and return the final state.
+
+        Trailing read-out measurements are ignored; any other non-unitary
+        primitive raises.
+        """
+        if circuit.is_dynamic:
+            raise SimulationError(
+                "the statevector simulator cannot handle dynamic circuits; use "
+                "repro.core.extract_distribution or transform the circuit first"
+            )
+        state = self._initial_state(circuit.num_qubits, initial_state)
+        for instruction in circuit.remove_final_measurements():
+            if instruction.is_barrier or instruction.is_measurement:
+                continue
+            state = state.apply_instruction(instruction)
+        return state
+
+    @staticmethod
+    def _initial_state(
+        num_qubits: int, initial_state: "Statevector | int | str | None"
+    ) -> Statevector:
+        if initial_state is None:
+            return Statevector.zero_state(num_qubits)
+        if isinstance(initial_state, Statevector):
+            if initial_state.num_qubits != num_qubits:
+                raise SimulationError(
+                    f"initial state has {initial_state.num_qubits} qubits, "
+                    f"circuit has {num_qubits}"
+                )
+            return initial_state
+        if isinstance(initial_state, str):
+            if len(initial_state) != num_qubits:
+                raise SimulationError(
+                    f"initial bitstring {initial_state!r} does not match {num_qubits} qubits"
+                )
+            return Statevector.from_bitstring(initial_state)
+        return Statevector.basis_state(num_qubits, int(initial_state))

@@ -1,0 +1,102 @@
+"""Stochastic (trajectory / shot-based) simulation of dynamic circuits.
+
+This is the other baseline Section 5 of the paper argues against: repeatedly
+simulating the dynamic circuit while sampling every measurement and reset
+outcome.  It handles non-unitaries trivially but needs a *huge* number of
+shots before the empirical distribution is statistically meaningful — the
+extraction scheme (``repro.core.extraction``) obtains the exact distribution
+instead.  The trajectory simulator is kept as a baseline for the ablation
+benchmarks and as an additional cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, XGate
+from repro.exceptions import SimulationError
+from repro.simulators.statevector import Statevector
+from repro.utils.bits import format_bitstring
+
+__all__ = ["StochasticSimulator"]
+
+
+class StochasticSimulator:
+    """Sample classical outcomes of a (possibly dynamic) circuit shot by shot."""
+
+    def __init__(self, seed: int | None = None):
+        self._rng = np.random.default_rng(seed)
+
+    def run_single_shot(
+        self, circuit: QuantumCircuit, initial_state: "Statevector | int | str | None" = None
+    ) -> tuple[str, Statevector]:
+        """Run one trajectory; returns (classical bitstring, final state)."""
+        state = self._initial_state(circuit.num_qubits, initial_state)
+        classical = [0] * circuit.num_clbits
+        for instruction in circuit:
+            if instruction.is_barrier:
+                continue
+            if instruction.is_measurement:
+                qubit = instruction.qubits[0]
+                p_one = state.probability_of_one(qubit)
+                outcome = 1 if self._rng.random() < p_one else 0
+                probability = p_one if outcome == 1 else 1.0 - p_one
+                state = state.collapse(qubit, outcome, probability)
+                classical[instruction.clbits[0]] = outcome
+                continue
+            if instruction.is_reset:
+                qubit = instruction.qubits[0]
+                p_one = state.probability_of_one(qubit)
+                outcome = 1 if self._rng.random() < p_one else 0
+                probability = p_one if outcome == 1 else 1.0 - p_one
+                state = state.collapse(qubit, outcome, probability)
+                if outcome == 1:
+                    state = state.apply_gate(XGate(), [qubit])
+                continue
+            if instruction.condition is not None and not instruction.condition.is_satisfied(
+                classical
+            ):
+                continue
+            gate = instruction.operation
+            if not isinstance(gate, Gate):
+                raise SimulationError(f"unexpected instruction {instruction!r}")
+            state = state.apply_gate(gate, instruction.qubits)
+        return format_bitstring(classical), state
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        initial_state: "Statevector | int | str | None" = None,
+    ) -> dict[str, int]:
+        """Sample ``shots`` trajectories and return outcome counts."""
+        if shots < 1:
+            raise SimulationError("shots must be positive")
+        counts: dict[str, int] = {}
+        for _ in range(shots):
+            outcome, _ = self.run_single_shot(circuit, initial_state)
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return counts
+
+    def estimate_distribution(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        initial_state: "Statevector | int | str | None" = None,
+    ) -> dict[str, float]:
+        """Empirical outcome distribution from ``shots`` trajectories."""
+        counts = self.run(circuit, shots, initial_state)
+        return {key: value / shots for key, value in counts.items()}
+
+    @staticmethod
+    def _initial_state(
+        num_qubits: int, initial_state: "Statevector | int | str | None"
+    ) -> Statevector:
+        if initial_state is None:
+            return Statevector.zero_state(num_qubits)
+        if isinstance(initial_state, Statevector):
+            return initial_state.copy()
+        if isinstance(initial_state, str):
+            return Statevector.from_bitstring(initial_state)
+        return Statevector.basis_state(num_qubits, int(initial_state))

@@ -1,0 +1,20 @@
+"""Small shared utilities (bitstring manipulation, timing helpers)."""
+
+from repro.utils.bits import (
+    bits_to_int,
+    bitstring_to_int,
+    format_bitstring,
+    int_to_bits,
+    int_to_bitstring,
+)
+from repro.utils.timing import Stopwatch, timed
+
+__all__ = [
+    "Stopwatch",
+    "bits_to_int",
+    "bitstring_to_int",
+    "format_bitstring",
+    "int_to_bits",
+    "int_to_bitstring",
+    "timed",
+]

@@ -1,0 +1,85 @@
+"""Bit and bitstring helpers.
+
+Conventions
+-----------
+* Bit index 0 is the *least significant* bit.
+* Bitstrings are printed most-significant-first, i.e. ``c_{m-1} ... c_1 c_0``,
+  matching the ``0.c2c1c0`` notation used in the paper for phase estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "bits_to_int",
+    "bitstring_to_int",
+    "format_bitstring",
+    "int_to_bits",
+    "int_to_bitstring",
+]
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Return the ``width`` least-significant bits of ``value``.
+
+    The result is ordered least-significant-first, i.e. ``result[k]`` is bit
+    ``k`` of ``value``.
+
+    >>> int_to_bits(6, 4)
+    [0, 1, 1, 0]
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return [(value >> k) & 1 for k in range(width)]
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Inverse of :func:`int_to_bits`: combine least-significant-first bits.
+
+    >>> bits_to_int([0, 1, 1, 0])
+    6
+    """
+    value = 0
+    for k, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {bit!r} at position {k}")
+        value |= bit << k
+    return value
+
+
+def int_to_bitstring(value: int, width: int) -> str:
+    """Return ``value`` as a most-significant-first bitstring of length ``width``.
+
+    >>> int_to_bitstring(6, 4)
+    '0110'
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return format(value, f"0{width}b") if width else ""
+
+
+def bitstring_to_int(bitstring: str) -> int:
+    """Parse a most-significant-first bitstring.
+
+    >>> bitstring_to_int('0110')
+    6
+    """
+    if bitstring == "":
+        return 0
+    if any(ch not in "01" for ch in bitstring):
+        raise ValueError(f"bitstring must only contain 0/1, got {bitstring!r}")
+    return int(bitstring, 2)
+
+
+def format_bitstring(bits: Sequence[int]) -> str:
+    """Format least-significant-first ``bits`` as a most-significant-first string.
+
+    >>> format_bitstring([1, 0, 0])
+    '001'
+    """
+    return "".join(str(b) for b in reversed(list(bits)))

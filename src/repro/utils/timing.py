@@ -1,0 +1,57 @@
+"""Timing helpers used by the equivalence-checking flow and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from contextlib import contextmanager
+from typing import Any, TypeVar
+
+__all__ = ["Stopwatch", "timed"]
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    The equivalence-checking results report separate times for the
+    transformation scheme and the actual check (``t_trans`` / ``t_ver`` in the
+    paper's Table 1); :class:`Stopwatch` collects those laps.
+    """
+
+    def __init__(self) -> None:
+        self._laps: dict[str, float] = {}
+
+    @contextmanager
+    def lap(self, name: str):
+        """Context manager measuring the wall-clock time of a named lap."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._laps[name] = self._laps.get(name, 0.0) + elapsed
+
+    def __getitem__(self, name: str) -> float:
+        return self._laps[name]
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Return the accumulated time of ``name`` or ``default``."""
+        return self._laps.get(name, default)
+
+    @property
+    def laps(self) -> dict[str, float]:
+        """All recorded laps (copy)."""
+        return dict(self._laps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v:.6f}s" for k, v in self._laps.items())
+        return f"Stopwatch({body})"
+
+
+def timed(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

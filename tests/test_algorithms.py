@@ -1,0 +1,217 @@
+"""Tests for the algorithm generators (correctness of the algorithms themselves)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bernstein_vazirani_dynamic,
+    bernstein_vazirani_static,
+    ghz_fanout,
+    ghz_ladder,
+    hidden_string_bits,
+    iterative_qpe,
+    phase_estimate_from_bitstring,
+    qft_circuit,
+    qft_dynamic,
+    qft_static_benchmark,
+    qpe_static,
+    running_example_lambda,
+    teleportation_dynamic,
+    teleportation_static,
+)
+from repro.core import extract_distribution
+from repro.exceptions import CircuitError
+from repro.simulators import StatevectorSimulator, circuit_unitary
+from repro.simulators.statevector import Statevector
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("hidden", ["0", "1", "101", "11001", "0000", "1111"])
+    def test_static_recovers_hidden_string(self, hidden):
+        circuit = bernstein_vazirani_static(hidden)
+        result = extract_distribution(circuit)
+        assert result.distribution == pytest.approx({hidden: 1.0})
+
+    @pytest.mark.parametrize("hidden", ["0", "1", "101", "11001"])
+    def test_dynamic_recovers_hidden_string(self, hidden):
+        circuit = bernstein_vazirani_dynamic(hidden)
+        result = extract_distribution(circuit)
+        assert result.distribution == pytest.approx({hidden: 1.0})
+
+    def test_dynamic_uses_two_qubits(self):
+        assert bernstein_vazirani_dynamic("10110").num_qubits == 2
+
+    def test_static_qubit_count(self):
+        assert bernstein_vazirani_static("10110").num_qubits == 6
+
+    def test_gate_count_scales_linearly(self):
+        small = bernstein_vazirani_static("1" * 5).size
+        large = bernstein_vazirani_static("1" * 10).size
+        assert large > small
+
+    def test_hidden_string_bits(self):
+        assert hidden_string_bits("110") == [0, 1, 1]
+
+    def test_invalid_hidden_string_raises(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani_static("12")
+        with pytest.raises(CircuitError):
+            bernstein_vazirani_static("")
+
+
+class TestQPE:
+    @pytest.mark.parametrize("numerator", [1, 3, 5, 7])
+    def test_exact_phase_is_estimated_deterministically(self, numerator):
+        """For theta = numerator/8 and 3 bits the estimate is exact."""
+        lam = 2.0 * math.pi * numerator / 8
+        result = extract_distribution(qpe_static(3, lam))
+        expected = format(numerator, "03b")
+        assert result.distribution == pytest.approx({expected: 1.0}, abs=1e-9)
+
+    @pytest.mark.parametrize("numerator", [1, 3, 5, 7])
+    def test_iterative_qpe_matches_static(self, numerator):
+        lam = 2.0 * math.pi * numerator / 8
+        static = extract_distribution(qpe_static(3, lam)).distribution
+        dynamic = extract_distribution(iterative_qpe(3, lam)).distribution
+        assert static == pytest.approx(dynamic, abs=1e-9)
+
+    def test_running_example_most_probable_estimates(self):
+        """theta = 3/16 needs 4 bits; with 3 bits |001> and |010> dominate."""
+        result = extract_distribution(qpe_static(3, running_example_lambda))
+        ordered = sorted(result.distribution, key=result.distribution.get, reverse=True)
+        assert set(ordered[:2]) == {"001", "010"}
+
+    def test_four_bit_running_example_is_exact(self):
+        result = extract_distribution(qpe_static(4, running_example_lambda))
+        assert result.probability("0011") == pytest.approx(1.0, abs=1e-9)
+
+    def test_success_probability_bound(self):
+        """QPE succeeds with probability > 4/pi^2 even for inexact phases."""
+        lam = 2.0 * math.pi * 0.2371
+        result = extract_distribution(qpe_static(4, lam))
+        best_two = sorted(result.distribution.values(), reverse=True)[:2]
+        assert best_two[0] > 4 / math.pi**2
+
+    def test_phase_estimate_from_bitstring(self):
+        assert phase_estimate_from_bitstring("0011") == pytest.approx(3 / 16)
+        assert phase_estimate_from_bitstring("") == 0.0
+
+    def test_eigenstate_zero_gives_zero_phase(self):
+        result = extract_distribution(qpe_static(3, 1.234, eigenstate_one=False))
+        assert result.probability("000") == pytest.approx(1.0)
+
+    def test_iterative_qpe_structure(self):
+        circuit = iterative_qpe(4)
+        assert circuit.num_qubits == 2
+        assert circuit.num_resets == 3
+        assert circuit.num_measurements == 4
+        assert circuit.num_classically_controlled == 3 + 2 + 1
+
+    def test_invalid_bit_count_raises(self):
+        with pytest.raises(CircuitError):
+            qpe_static(0)
+        with pytest.raises(CircuitError):
+            iterative_qpe(0)
+
+
+class TestQFT:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3, 4])
+    def test_textbook_qft_matches_dft_matrix(self, num_qubits):
+        dimension = 1 << num_qubits
+        omega = np.exp(2j * math.pi / dimension)
+        dft = np.array(
+            [[omega ** (row * column) for column in range(dimension)] for row in range(dimension)]
+        ) / math.sqrt(dimension)
+        assert np.allclose(circuit_unitary(qft_circuit(num_qubits)), dft, atol=1e-10)
+
+    def test_inverse_qft(self):
+        forward = circuit_unitary(qft_circuit(3))
+        backward = circuit_unitary(qft_circuit(3, inverse=True))
+        assert np.allclose(forward @ backward, np.eye(8), atol=1e-10)
+
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3])
+    def test_benchmark_circuit_is_qft_with_bit_reversed_input(self, num_qubits):
+        """The semiclassically-ordered benchmark equals DFT composed with bit reversal."""
+        dimension = 1 << num_qubits
+        omega = np.exp(2j * math.pi / dimension)
+        dft = np.array(
+            [[omega ** (row * column) for column in range(dimension)] for row in range(dimension)]
+        ) / math.sqrt(dimension)
+
+        def bit_reverse(value: int) -> int:
+            return int(format(value, f"0{num_qubits}b")[::-1], 2)
+
+        permutation = np.zeros((dimension, dimension))
+        for index in range(dimension):
+            permutation[bit_reverse(index), index] = 1.0
+        benchmark = circuit_unitary(qft_static_benchmark(num_qubits).remove_final_measurements())
+        assert np.allclose(benchmark, dft @ permutation, atol=1e-10)
+
+    def test_benchmark_on_zero_state_is_uniform(self):
+        result = extract_distribution(qft_static_benchmark(3))
+        assert all(value == pytest.approx(1 / 8) for value in result.distribution.values())
+        assert len(result.distribution) == 8
+
+    def test_dynamic_qft_uses_one_qubit(self):
+        circuit = qft_dynamic(5)
+        assert circuit.num_qubits == 1
+        assert circuit.num_resets == 4
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(CircuitError):
+            qft_circuit(0)
+
+
+class TestTeleportation:
+    @pytest.mark.parametrize("theta,phi", [(0.7, 0.3), (1.9, -1.1), (math.pi / 2, 0.0)])
+    def test_dynamic_teleportation_moves_the_state(self, theta, phi):
+        """After teleportation Bob's qubit must hold ry(theta);rz(phi)|0> regardless
+        of the measurement outcomes."""
+        from repro.simulators.stochastic import StochasticSimulator
+
+        expected = Statevector.zero_state(1)
+        from repro.circuit.gates import RYGate, RZGate
+
+        expected = expected.apply_gate(RYGate(theta), [0]).apply_gate(RZGate(phi), [0])
+
+        simulator = StochasticSimulator(seed=17)
+        for _ in range(6):
+            _, final_state = simulator.run_single_shot(teleportation_dynamic(theta, phi))
+            # Trace out qubits 0 and 1 by checking the conditional state of qubit 2.
+            data = final_state.data.reshape(2, 2, 2)  # indices: q2, q1, q0
+            # The post-measurement state is a product state; find the non-zero block.
+            collapsed = None
+            for q1 in range(2):
+                for q0 in range(2):
+                    block = data[:, q1, q0]
+                    if np.linalg.norm(block) > 1e-9:
+                        collapsed = block / np.linalg.norm(block)
+            assert collapsed is not None
+            fidelity = abs(np.vdot(expected.data, collapsed)) ** 2
+            assert fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_static_and_dynamic_distributions_match(self):
+        dynamic = extract_distribution(teleportation_dynamic()).distribution
+        static = extract_distribution(teleportation_static()).distribution
+        assert dynamic == pytest.approx(static)
+
+    def test_measurement_outcomes_are_uniform(self):
+        distribution = extract_distribution(teleportation_dynamic()).distribution
+        assert all(value == pytest.approx(0.25) for value in distribution.values())
+
+
+class TestGHZ:
+    def test_ladder_and_fanout_prepare_same_state(self):
+        ladder = StatevectorSimulator().run(ghz_ladder(4))
+        fanout = StatevectorSimulator().run(ghz_fanout(4))
+        assert ladder.fidelity(fanout) == pytest.approx(1.0)
+
+    def test_ghz_state_amplitudes(self):
+        state = StatevectorSimulator().run(ghz_ladder(3))
+        assert state.probabilities_dict() == pytest.approx({"000": 0.5, "111": 0.5})
+
+    def test_minimum_size(self):
+        with pytest.raises(CircuitError):
+            ghz_ladder(1)

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.algorithms import (
+    bernstein_vazirani_dynamic,
+    bernstein_vazirani_static,
+    iterative_qpe,
+    qpe_static,
+)
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def qasm_files(tmp_path):
+    """Write a static/dynamic BV pair and a QPE pair to QASM files."""
+    paths = {}
+    circuits = {
+        "bv_static": bernstein_vazirani_static("101"),
+        "bv_dynamic": bernstein_vazirani_dynamic("101"),
+        "bv_wrong": bernstein_vazirani_dynamic("111"),
+        "qpe_static": qpe_static(3),
+        "iqpe": iterative_qpe(3),
+    }
+    for name, circuit in circuits.items():
+        path = tmp_path / f"{name}.qasm"
+        path.write_text(circuit.to_qasm(), encoding="utf-8")
+        paths[name] = str(path)
+    return paths
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify", "a.qasm", "b.qasm"])
+        assert args.method == "alternating"
+        assert args.strategy == "proportional"
+        assert args.backend == "dd"
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "a", "b", "--method", "magic"])
+
+
+class TestVerifyCommand:
+    def test_equivalent_pair_returns_zero(self, qasm_files, capsys):
+        code = main(["verify", qasm_files["bv_static"], qasm_files["bv_dynamic"]])
+        assert code == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_non_equivalent_pair_returns_one(self, qasm_files, capsys):
+        code = main(["verify", qasm_files["bv_static"], qasm_files["bv_wrong"]])
+        assert code == 1
+        assert "not_equivalent" in capsys.readouterr().out
+
+    def test_json_output(self, qasm_files, capsys):
+        code = main(["verify", qasm_files["qpe_static"], qasm_files["iqpe"], "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["equivalent"] is True
+        assert payload["strategy"] == "proportional"
+
+    def test_strategy_and_backend_options(self, qasm_files):
+        assert (
+            main(
+                [
+                    "verify",
+                    qasm_files["qpe_static"],
+                    qasm_files["iqpe"],
+                    "--strategy",
+                    "one_to_one",
+                    "--backend",
+                    "dense",
+                ]
+            )
+            == 0
+        )
+
+    def test_missing_file_returns_two(self, tmp_path, capsys):
+        code = main(["verify", str(tmp_path / "missing.qasm"), str(tmp_path / "missing2.qasm")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBehaviourAndExtract:
+    def test_verify_behaviour(self, qasm_files, capsys):
+        code = main(["verify-behaviour", qasm_files["bv_static"], qasm_files["bv_dynamic"]])
+        assert code == 0
+        assert "probably_equivalent" in capsys.readouterr().out
+
+    def test_verify_behaviour_json(self, qasm_files, capsys):
+        main(["verify-behaviour", qasm_files["qpe_static"], qasm_files["iqpe"], "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_variation_distance"] < 1e-9
+
+    def test_extract(self, qasm_files, capsys):
+        code = main(["extract", qasm_files["bv_dynamic"]])
+        assert code == 0
+        assert "|101>" in capsys.readouterr().out
+
+    def test_extract_json(self, qasm_files, capsys):
+        main(["extract", qasm_files["iqpe"], "--backend", "dd", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert abs(sum(payload["distribution"].values()) - 1.0) < 1e-9
+
+    def test_extract_without_classical_bits_reports_error(self, tmp_path, capsys):
+        from repro.circuit import QuantumCircuit
+
+        path = tmp_path / "no_meas.qasm"
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        path.write_text(circuit.to_qasm(), encoding="utf-8")
+        assert main(["extract", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_show(self, qasm_files, capsys):
+        assert main(["show", qasm_files["iqpe"]]) == 0
+        output = capsys.readouterr().out
+        assert "qubits" in output
+        assert "q0:" in output

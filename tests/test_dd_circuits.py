@@ -1,0 +1,124 @@
+"""Tests for the circuit <-> decision-diagram bridge (gate construction)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import (
+    CCXGate,
+    CHGate,
+    CPhaseGate,
+    CSwapGate,
+    CXGate,
+    GlobalPhaseGate,
+    HGate,
+    MCPhaseGate,
+    MCXGate,
+    RXGate,
+    SwapGate,
+    UGate,
+    XGate,
+    iSwapGate,
+)
+from repro.circuit.operations import ClassicalCondition, Instruction
+from repro.dd.circuits import (
+    apply_instruction_to_vector,
+    circuit_to_unitary_dd,
+    gate_to_dd,
+    instruction_to_dd,
+)
+from repro.dd.package import DDPackage
+from repro.exceptions import DDError
+from repro.simulators.unitary import circuit_unitary, embed_gate_matrix
+
+GATE_CASES = [
+    (HGate(), (1,)),
+    (XGate(), (0,)),
+    (RXGate(0.3), (2,)),
+    (UGate(0.2, 0.4, 0.6), (1,)),
+    (CXGate(), (0, 2)),
+    (CXGate(), (2, 0)),
+    (CXGate(ctrl_state=0), (1, 2)),
+    (CHGate(), (2, 1)),
+    (CPhaseGate(0.7), (0, 1)),
+    (CCXGate(), (0, 1, 2)),
+    (CCXGate(), (2, 0, 1)),
+    (CCXGate(ctrl_state=1), (0, 1, 2)),
+    (MCXGate(2), (1, 2, 0)),
+    (MCPhaseGate(0.4, 2), (0, 2, 1)),
+    (SwapGate(), (0, 2)),
+    (iSwapGate(), (1, 2)),
+    (CSwapGate(), (2, 1, 0)),
+]
+
+
+class TestGateToDD:
+    @pytest.mark.parametrize("gate,qubits", GATE_CASES, ids=lambda value: str(value))
+    def test_matches_dense_embedding(self, gate, qubits):
+        package = DDPackage(3)
+        dd_matrix = package.matrix_to_numpy(gate_to_dd(package, gate, qubits))
+        dense = embed_gate_matrix(gate.matrix, qubits, 3)
+        assert np.allclose(dd_matrix, dense, atol=1e-9)
+
+    def test_global_phase_gate(self):
+        package = DDPackage(2)
+        dd_matrix = package.matrix_to_numpy(gate_to_dd(package, GlobalPhaseGate(0.5), ()))
+        assert np.allclose(dd_matrix, np.exp(0.5j) * np.eye(4))
+
+    def test_wrong_qubit_count_raises(self):
+        package = DDPackage(2)
+        with pytest.raises(DDError):
+            gate_to_dd(package, CXGate(), (0,))
+
+    def test_instruction_to_dd_rejects_conditions(self):
+        package = DDPackage(1)
+        instruction = Instruction(XGate(), (0,), condition=ClassicalCondition((0,), 1))
+        with pytest.raises(DDError):
+            instruction_to_dd(package, instruction)
+
+    def test_controlled_gate_node_count_stays_small(self):
+        package = DDPackage(40)
+        edge = gate_to_dd(package, CXGate(), (0, 39))
+        assert package.count_nodes(edge) <= 3 * 40
+
+
+class TestCircuitToDD:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuit_unitary(self, seed):
+        from repro.circuit.random_circuits import random_static_circuit
+
+        circuit = random_static_circuit(4, 4, seed=seed)
+        package = DDPackage(4)
+        dd_matrix = package.matrix_to_numpy(circuit_to_unitary_dd(package, circuit))
+        assert np.allclose(dd_matrix, circuit_unitary(circuit), atol=1e-8)
+
+    def test_final_measurements_ignored(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        package = DDPackage(2)
+        dd_matrix = package.matrix_to_numpy(circuit_to_unitary_dd(package, circuit))
+        assert np.allclose(dd_matrix, circuit_unitary(circuit), atol=1e-10)
+
+    def test_qubit_count_mismatch_raises(self):
+        package = DDPackage(3)
+        with pytest.raises(DDError):
+            circuit_to_unitary_dd(package, QuantumCircuit(2))
+
+    def test_apply_instruction_to_vector(self):
+        package = DDPackage(2)
+        state = package.zero_state()
+        state = apply_instruction_to_vector(package, state, Instruction(HGate(), (0,)))
+        state = apply_instruction_to_vector(package, state, Instruction(CXGate(), (0, 1)))
+        amplitudes = package.vector_to_numpy(state)
+        assert np.allclose(np.abs(amplitudes) ** 2, [0.5, 0, 0, 0.5])
+
+    def test_identity_circuit_gives_identity_dd(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        composed = circuit.compose(circuit.inverse())
+        package = DDPackage(3)
+        edge = circuit_to_unitary_dd(package, composed)
+        assert package.is_identity(edge, up_to_global_phase=False)

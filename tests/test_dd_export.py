@@ -1,0 +1,77 @@
+"""Tests for the decision-diagram DOT export and summaries."""
+
+import numpy as np
+
+from repro.dd import DDPackage, edge_to_dot, summarize_edge
+from repro.dd.circuits import circuit_to_unitary_dd
+from repro.algorithms import ghz_ladder
+
+
+class TestDotExport:
+    def test_zero_state_export(self):
+        package = DDPackage(2)
+        dot = edge_to_dot(package.zero_state(), name="zero")
+        assert dot.startswith("digraph zero {")
+        assert dot.rstrip().endswith("}")
+        assert "q1" in dot and "q0" in dot
+        assert "terminal" in dot
+
+    def test_zero_edge_export(self):
+        package = DDPackage(1)
+        dot = edge_to_dot(package.zero_vector_edge())
+        assert "zero" in dot
+
+    def test_matrix_export_contains_four_way_labels(self):
+        package = DDPackage(2)
+        dot = edge_to_dot(package.identity())
+        assert '"00' in dot
+        assert '"11' in dot
+        # Identity has no off-diagonal edges.
+        assert '"01' not in dot
+        assert '"10' not in dot
+
+    def test_ghz_state_export(self):
+        package = DDPackage(3)
+        from repro.dd.circuits import apply_instruction_to_vector
+
+        state = package.zero_state()
+        for instruction in ghz_ladder(3).gate_instructions():
+            state = apply_instruction_to_vector(package, state, instruction)
+        dot = edge_to_dot(state)
+        # Each node appears exactly once even though sub-diagrams are shared.
+        assert dot.count("shape=circle") == package.count_nodes(state)
+
+    def test_complex_weight_formatting(self):
+        package = DDPackage(1)
+        scaled = package.scale_vector(package.basis_state(1), 0.5j)
+        dot = edge_to_dot(scaled)
+        assert "i" in dot
+
+
+class TestSummaries:
+    def test_summary_of_basis_state(self):
+        package = DDPackage(4)
+        summary = summarize_edge(package.basis_state(0))
+        assert summary["nodes"] == 4
+        assert summary["edges"] == 4
+        assert summary["depth"] == 4
+
+    def test_summary_of_identity(self):
+        package = DDPackage(3)
+        summary = summarize_edge(package.identity())
+        assert summary["nodes"] == 3
+        assert summary["edges"] == 2 * 3
+
+    def test_summary_of_zero_edge(self):
+        package = DDPackage(3)
+        summary = summarize_edge(package.zero_vector_edge())
+        assert summary == {"nodes": 0, "edges": 0, "depth": 0}
+
+    def test_summary_of_circuit_unitary(self):
+        package = DDPackage(3)
+        edge = circuit_to_unitary_dd(package, ghz_ladder(3))
+        summary = summarize_edge(edge)
+        assert summary["nodes"] == package.count_nodes(edge)
+        assert summary["edges"] >= summary["nodes"]
+        expected = package.matrix_to_numpy(edge)
+        assert np.allclose(expected @ expected.conj().T, np.eye(8), atol=1e-9)

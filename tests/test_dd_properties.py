@@ -1,0 +1,131 @@
+"""Property-based tests of the decision-diagram package (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.random_circuits import random_static_circuit
+from repro.dd.circuits import circuit_to_unitary_dd
+from repro.dd.package import DDPackage
+from repro.simulators.dd_simulator import DDSimulator
+from repro.simulators.statevector import StatevectorSimulator
+from repro.simulators.unitary import circuit_unitary
+
+MAX_EXAMPLES = 20
+
+
+def _random_amplitudes(rng: np.random.Generator, num_qubits: int) -> np.ndarray:
+    size = 1 << num_qubits
+    amplitudes = rng.normal(size=size) + 1j * rng.normal(size=size)
+    return amplitudes / np.linalg.norm(amplitudes)
+
+
+class TestAgainstDenseBackend:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_qubits=st.integers(min_value=1, max_value=4),
+        depth=st.integers(min_value=0, max_value=6),
+    )
+    def test_circuit_unitaries_agree(self, seed, num_qubits, depth):
+        circuit = random_static_circuit(num_qubits, depth, seed=seed)
+        package = DDPackage(num_qubits)
+        dd_matrix = package.matrix_to_numpy(circuit_to_unitary_dd(package, circuit))
+        assert np.allclose(dd_matrix, circuit_unitary(circuit), atol=1e-8)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_qubits=st.integers(min_value=1, max_value=4),
+        depth=st.integers(min_value=0, max_value=6),
+    )
+    def test_simulated_states_agree(self, seed, num_qubits, depth):
+        circuit = random_static_circuit(num_qubits, depth, seed=seed)
+        dd_state = DDSimulator().run(circuit).to_statevector()
+        dense_state = StatevectorSimulator().run(circuit).data
+        assert np.allclose(dd_state, dense_state, atol=1e-8)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_qubits=st.integers(min_value=1, max_value=4),
+    )
+    def test_unitarity_of_circuit_dds(self, seed, num_qubits):
+        circuit = random_static_circuit(num_qubits, 4, seed=seed)
+        package = DDPackage(num_qubits)
+        dense = package.matrix_to_numpy(circuit_to_unitary_dd(package, circuit))
+        assert np.allclose(dense @ dense.conj().T, np.eye(1 << num_qubits), atol=1e-8)
+
+
+class TestAlgebraicInvariants:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000), num_qubits=st.integers(min_value=1, max_value=4))
+    def test_addition_commutes(self, seed, num_qubits):
+        rng = np.random.default_rng(seed)
+        package = DDPackage(num_qubits)
+        first = _random_amplitudes(rng, num_qubits)
+        second = _random_amplitudes(rng, num_qubits)
+        left = package.add_vectors(
+            package.vector_from_numpy(first), package.vector_from_numpy(second)
+        )
+        right = package.add_vectors(
+            package.vector_from_numpy(second), package.vector_from_numpy(first)
+        )
+        assert np.allclose(
+            package.vector_to_numpy(left), package.vector_to_numpy(right), atol=1e-9
+        )
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000), num_qubits=st.integers(min_value=1, max_value=3))
+    def test_norm_is_preserved_by_unitaries(self, seed, num_qubits):
+        rng = np.random.default_rng(seed)
+        package = DDPackage(num_qubits)
+        circuit = random_static_circuit(num_qubits, 4, seed=seed)
+        gate = circuit_to_unitary_dd(package, circuit)
+        state = package.vector_from_numpy(_random_amplitudes(rng, num_qubits))
+        evolved = package.multiply_matrix_vector(gate, state)
+        np.testing.assert_allclose(package.norm_squared(evolved), 1.0, atol=1e-9)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000), num_qubits=st.integers(min_value=1, max_value=3))
+    def test_inner_product_matches_numpy(self, seed, num_qubits):
+        rng = np.random.default_rng(seed)
+        package = DDPackage(num_qubits)
+        first = _random_amplitudes(rng, num_qubits)
+        second = _random_amplitudes(rng, num_qubits)
+        dd_value = package.inner_product(
+            package.vector_from_numpy(first), package.vector_from_numpy(second)
+        )
+        assert abs(dd_value - np.vdot(first, second)) < 1e-9
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_qubits=st.integers(min_value=1, max_value=3),
+        qubit=st.integers(min_value=0, max_value=2),
+    )
+    def test_measurement_probabilities_match_numpy(self, seed, num_qubits, qubit):
+        if qubit >= num_qubits:
+            qubit = num_qubits - 1
+        rng = np.random.default_rng(seed)
+        package = DDPackage(num_qubits)
+        amplitudes = _random_amplitudes(rng, num_qubits)
+        edge = package.vector_from_numpy(amplitudes)
+        expected = sum(
+            abs(amplitudes[index]) ** 2
+            for index in range(1 << num_qubits)
+            if (index >> qubit) & 1
+        )
+        np.testing.assert_allclose(package.probability_of_one(edge, qubit), expected, atol=1e-9)
+
+
+class TestCanonicity:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000), num_qubits=st.integers(min_value=1, max_value=4))
+    def test_same_circuit_gives_identical_root_node(self, seed, num_qubits):
+        circuit = random_static_circuit(num_qubits, 3, seed=seed)
+        package = DDPackage(num_qubits)
+        first = circuit_to_unitary_dd(package, circuit)
+        second = circuit_to_unitary_dd(package, circuit)
+        assert first.node is second.node
+        assert abs(first.weight - second.weight) < 1e-9

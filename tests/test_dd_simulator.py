@@ -1,0 +1,108 @@
+"""Tests for the decision-diagram simulator backend."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import HGate, XGate
+from repro.exceptions import SimulationError
+from repro.simulators.dd_simulator import DDSimulator, DDState
+from repro.simulators.statevector import StatevectorSimulator
+
+
+def bell_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, 2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+class TestDDState:
+    def test_zero_state(self):
+        state = DDState.zero_state(3)
+        assert np.allclose(state.to_statevector(), [1] + [0] * 7)
+
+    def test_basis_state_and_bitstring(self):
+        assert np.allclose(DDState.basis_state(2, 2).to_statevector(), [0, 0, 1, 0])
+        assert np.allclose(DDState.from_bitstring("10").to_statevector(), [0, 0, 1, 0])
+
+    def test_apply_gate(self):
+        state = DDState.zero_state(1).apply_gate(XGate(), [0])
+        assert np.allclose(state.to_statevector(), [0, 1])
+
+    def test_probability_and_collapse(self):
+        state = DDState.zero_state(1).apply_gate(HGate(), [0])
+        assert state.probability_of_one(0) == pytest.approx(0.5)
+        collapsed = state.collapse(0, 1)
+        assert np.allclose(collapsed.to_statevector(), [0, 1])
+
+    def test_reset_outcomes(self):
+        state = DDState.zero_state(1).apply_gate(HGate(), [0])
+        branches = state.reset_qubit_outcomes(0)
+        assert len(branches) == 2
+        assert all(np.allclose(s.to_statevector(), [1, 0]) for _, s in branches)
+
+    def test_probabilities_dict(self):
+        state = DDSimulator().run(bell_circuit())
+        assert state.probabilities_dict() == pytest.approx({"00": 0.5, "11": 0.5})
+
+    def test_fidelity_within_same_package(self):
+        state = DDSimulator().run(bell_circuit())
+        other = DDState.zero_state(2, state.package)
+        assert state.fidelity(other) == pytest.approx(0.5)
+
+    def test_fidelity_across_packages_raises(self):
+        first = DDState.zero_state(1)
+        second = DDState.zero_state(1)
+        with pytest.raises(SimulationError):
+            first.fidelity(second)
+
+    def test_apply_instruction_rejects_dynamic(self):
+        circuit = QuantumCircuit(1, 1)
+        instruction = circuit.measure(0, 0)
+        with pytest.raises(SimulationError):
+            DDState.zero_state(1).apply_instruction(instruction)
+
+    def test_num_nodes(self):
+        # Bell state: one node on the top level, two distinct successors below.
+        state = DDSimulator().run(bell_circuit())
+        assert state.num_nodes == 3
+
+
+class TestDDSimulator:
+    def test_matches_statevector_backend(self):
+        from repro.circuit.random_circuits import random_static_circuit
+
+        for seed in range(3):
+            circuit = random_static_circuit(4, 4, seed=seed)
+            dd_state = DDSimulator().run(circuit).to_statevector()
+            dense = StatevectorSimulator().run(circuit).data
+            assert np.allclose(dd_state, dense, atol=1e-8)
+
+    def test_initial_state_options(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(1, 0)
+        state = DDSimulator().run(circuit, "10")
+        assert np.allclose(state.to_statevector(), DDState.from_bitstring("11").to_statevector())
+        state = DDSimulator().run(circuit, 2)
+        assert np.allclose(state.to_statevector(), DDState.from_bitstring("11").to_statevector())
+
+    def test_rejects_dynamic_circuits(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.x(0, condition=(0, 1))
+        with pytest.raises(SimulationError):
+            DDSimulator().run(circuit)
+
+    def test_initial_state_size_mismatch(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(SimulationError):
+            DDSimulator().run(circuit, DDState.zero_state(3))
+
+    def test_large_sparse_circuit_stays_compact(self):
+        # A 60-qubit GHZ state has a linear-size decision diagram.
+        from repro.algorithms import ghz_ladder
+
+        state = DDSimulator().run(ghz_ladder(60))
+        assert state.num_nodes <= 2 * 60
+        assert state.probability_of_one(59) == pytest.approx(0.5)

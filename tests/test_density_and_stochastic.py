@@ -1,0 +1,114 @@
+"""Tests for the density-matrix ensemble and stochastic trajectory baselines."""
+
+import pytest
+
+from repro.algorithms import iterative_qpe, running_example_lambda, teleportation_dynamic
+from repro.circuit import QuantumCircuit
+from repro.core.distributions import total_variation_distance
+from repro.core.extraction import extract_distribution
+from repro.exceptions import SimulationError
+from repro.simulators.density_matrix import DensityMatrixSimulator
+from repro.simulators.stochastic import StochasticSimulator
+
+
+def measured_bell() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, 2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.measure_all()
+    return circuit
+
+
+class TestDensityMatrixSimulator:
+    def test_bell_distribution(self):
+        distribution = DensityMatrixSimulator().run(measured_bell())
+        assert distribution == pytest.approx({"00": 0.5, "11": 0.5})
+
+    def test_reset_produces_zero(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.reset(0)
+        circuit.measure(0, 0)
+        distribution = DensityMatrixSimulator().run(circuit)
+        assert distribution == pytest.approx({"0": 1.0})
+
+    def test_classically_controlled_operation(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        circuit.x(1, condition=(0, 1))
+        circuit.measure(1, 1)
+        distribution = DensityMatrixSimulator().run(circuit)
+        assert distribution == pytest.approx({"11": 1.0})
+
+    def test_agrees_with_extraction_on_iqpe(self):
+        circuit = iterative_qpe(3, running_example_lambda)
+        dm = DensityMatrixSimulator().run(circuit)
+        extracted = extract_distribution(circuit).distribution
+        assert total_variation_distance(dm, extracted) < 1e-9
+
+    def test_agrees_with_extraction_on_teleportation(self):
+        circuit = teleportation_dynamic()
+        dm = DensityMatrixSimulator().run(circuit)
+        extracted = extract_distribution(circuit).distribution
+        assert total_variation_distance(dm, extracted) < 1e-9
+
+    def test_initial_state_options(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        assert DensityMatrixSimulator().run(circuit, "1") == pytest.approx({"1": 1.0})
+        assert DensityMatrixSimulator().run(circuit, 1) == pytest.approx({"1": 1.0})
+
+    def test_qubit_limit(self):
+        simulator = DensityMatrixSimulator(max_qubits=2)
+        circuit = QuantumCircuit(3, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(SimulationError):
+            simulator.run(circuit)
+
+    def test_unmeasured_qubits_do_not_blow_up_keys(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.measure(0, 0)
+        distribution = DensityMatrixSimulator().run(circuit)
+        assert distribution == pytest.approx({"0": 0.5, "1": 0.5})
+
+
+class TestStochasticSimulator:
+    def test_counts_sum_to_shots(self):
+        counts = StochasticSimulator(seed=1).run(measured_bell(), shots=100)
+        assert sum(counts.values()) == 100
+        assert set(counts) <= {"00", "11"}
+
+    def test_deterministic_dynamic_circuit(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        circuit.x(1, condition=(0, 1))
+        circuit.measure(1, 1)
+        counts = StochasticSimulator(seed=2).run(circuit, shots=50)
+        assert counts == {"11": 50}
+
+    def test_reset_handling(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.reset(0)
+        circuit.measure(0, 0)
+        counts = StochasticSimulator(seed=3).run(circuit, shots=20)
+        assert counts == {"0": 20}
+
+    def test_estimate_distribution_approaches_exact(self):
+        circuit = iterative_qpe(2, running_example_lambda)
+        exact = extract_distribution(circuit).distribution
+        estimate = StochasticSimulator(seed=4).estimate_distribution(circuit, shots=4000)
+        assert total_variation_distance(exact, estimate) < 0.05
+
+    def test_invalid_shots(self):
+        with pytest.raises(SimulationError):
+            StochasticSimulator().run(measured_bell(), shots=0)
+
+    def test_single_shot_returns_state(self):
+        outcome, state = StochasticSimulator(seed=5).run_single_shot(measured_bell())
+        assert outcome in {"00", "11"}
+        assert state.num_qubits == 2

@@ -1,0 +1,124 @@
+"""Tests for the distribution-comparison metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import (
+    classical_fidelity,
+    distributions_equivalent,
+    hellinger_distance,
+    jensen_shannon_divergence,
+    kullback_leibler_divergence,
+    normalize_distribution,
+    total_variation_distance,
+)
+
+
+@st.composite
+def distributions(draw, size=4):
+    weights = draw(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=size, max_size=size)
+    )
+    total = sum(weights)
+    if total == 0:
+        weights = [1.0] * size
+        total = float(size)
+    keys = [format(k, f"0{size.bit_length()}b") for k in range(size)]
+    return {key: weight / total for key, weight in zip(keys, weights)}
+
+
+class TestTotalVariationDistance:
+    def test_identical_distributions(self):
+        p = {"00": 0.5, "11": 0.5}
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance({"0": 1.0}, {"1": 1.0}) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        p = {"0": 0.75, "1": 0.25}
+        q = {"0": 0.5, "1": 0.5}
+        assert total_variation_distance(p, q) == pytest.approx(0.25)
+
+    @settings(max_examples=30, deadline=None)
+    @given(distributions(), distributions())
+    def test_symmetry_and_bounds(self, p, q):
+        distance = total_variation_distance(p, q)
+        assert 0.0 <= distance <= 1.0 + 1e-12
+        assert distance == pytest.approx(total_variation_distance(q, p))
+
+    @settings(max_examples=30, deadline=None)
+    @given(distributions(), distributions(), distributions())
+    def test_triangle_inequality(self, p, q, r):
+        assert total_variation_distance(p, r) <= (
+            total_variation_distance(p, q) + total_variation_distance(q, r) + 1e-12
+        )
+
+
+class TestFidelity:
+    def test_identical_distributions(self):
+        p = {"00": 0.3, "01": 0.7}
+        assert classical_fidelity(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_distributions(self):
+        assert classical_fidelity({"0": 1.0}, {"1": 1.0}) == 0.0
+
+    def test_known_value(self):
+        p = {"0": 0.5, "1": 0.5}
+        q = {"0": 1.0}
+        assert classical_fidelity(p, q) == pytest.approx(0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(distributions(), distributions())
+    def test_bounds_and_symmetry(self, p, q):
+        fidelity = classical_fidelity(p, q)
+        assert 0.0 <= fidelity <= 1.0 + 1e-9
+        assert fidelity == pytest.approx(classical_fidelity(q, p))
+
+    @settings(max_examples=30, deadline=None)
+    @given(distributions(), distributions())
+    def test_fidelity_tvd_inequality(self, p, q):
+        # 1 - sqrt(F) <= TVD <= sqrt(1 - F)
+        fidelity = classical_fidelity(p, q)
+        distance = total_variation_distance(p, q)
+        assert 1.0 - math.sqrt(fidelity) <= distance + 1e-9
+        assert distance <= math.sqrt(max(0.0, 1.0 - fidelity)) + 1e-9
+
+
+class TestOtherMetrics:
+    def test_hellinger_zero_for_equal(self):
+        p = {"0": 0.4, "1": 0.6}
+        assert hellinger_distance(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_divergence_zero_for_equal(self):
+        p = {"0": 0.4, "1": 0.6}
+        assert kullback_leibler_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_divergence_positive(self):
+        p = {"0": 0.9, "1": 0.1}
+        q = {"0": 0.5, "1": 0.5}
+        assert kullback_leibler_divergence(p, q) > 0.0
+
+    def test_jensen_shannon_symmetric_and_bounded(self):
+        p = {"0": 1.0}
+        q = {"1": 1.0}
+        js = jensen_shannon_divergence(p, q)
+        assert js == pytest.approx(jensen_shannon_divergence(q, p))
+        assert js == pytest.approx(math.log(2))
+
+    def test_normalize_distribution(self):
+        normalized = normalize_distribution({"0": 2.0, "1": 2.0, "2": 0.0})
+        assert normalized == pytest.approx({"0": 0.5, "1": 0.5})
+
+    def test_normalize_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalize_distribution({"0": 0.0})
+
+    def test_distributions_equivalent(self):
+        p = {"0": 0.5, "1": 0.5}
+        q = {"0": 0.5 + 1e-10, "1": 0.5 - 1e-10}
+        assert distributions_equivalent(p, q)
+        assert not distributions_equivalent(p, {"0": 1.0})

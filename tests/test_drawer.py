@@ -1,0 +1,63 @@
+"""Tests for the plain-text circuit drawer."""
+
+from repro.algorithms import iterative_qpe, qpe_static, teleportation_dynamic
+from repro.circuit import QuantumCircuit
+
+
+class TestDrawerBasics:
+    def test_every_qubit_and_clbit_gets_a_row(self):
+        circuit = QuantumCircuit(3, 2)
+        circuit.h(0)
+        drawing = circuit.draw()
+        lines = drawing.splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("q0:")
+        assert lines[-1].startswith("c1:")
+
+    def test_empty_circuit(self):
+        drawing = QuantumCircuit(2, 1).draw()
+        assert "q0:" in drawing and "c0:" in drawing
+
+    def test_parameterized_gate_label(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.5, 0)
+        assert "rz(0.5)" in circuit.draw()
+
+    def test_controlled_gate_markers(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        drawing = circuit.draw()
+        assert "*" in drawing  # control
+        assert "X" in drawing  # target
+
+    def test_negative_control_marker(self):
+        from repro.circuit.gates import CXGate
+
+        circuit = QuantumCircuit(2)
+        circuit.append(CXGate(ctrl_state=0), [0, 1])
+        assert "o" in circuit.draw()
+
+    def test_measurement_and_reset_markers(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.reset(0)
+        drawing = circuit.draw()
+        assert "M" in drawing
+        assert "0" in drawing
+
+    def test_barrier_marker(self):
+        circuit = QuantumCircuit(2)
+        circuit.barrier()
+        assert "|" in circuit.draw()
+
+    def test_condition_marker_on_classical_wire(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.x(0, condition=(0, 1))
+        # The deferred qubit reuse does not matter for drawing.
+        assert "?" in circuit.draw()
+
+    def test_rows_have_equal_length(self):
+        for circuit in (iterative_qpe(3), qpe_static(3), teleportation_dynamic()):
+            lines = circuit.draw().splitlines()
+            assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,65 @@
+"""Integration tests: every example script must run successfully.
+
+The examples double as end-to-end tests of the public API; each is executed in
+a subprocess (so that import-time and ``__main__`` behaviour are exercised)
+and its output is checked for the expected verdicts.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.parametrize(
+    "name",
+    [path.name for path in sorted(EXAMPLES_DIR.glob("*.py"))],
+)
+def test_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+
+
+class TestExampleContents:
+    def test_quickstart_verdicts(self):
+        output = run_example("quickstart.py")
+        assert output.count("equivalent") >= 3
+        assert "not_equivalent" in output
+
+    def test_iqpe_example_mentions_both_schemes(self):
+        output = run_example("iqpe_vs_qpe.py")
+        assert "Full functional verification: equivalent" in output
+        assert "probably_equivalent" in output
+        assert "|001>" in output
+
+    def test_compilation_example_detects_bug(self):
+        output = run_example("verify_compilation.py")
+        assert "Verification of the compilation result: equivalent" in output
+        assert "not_equivalent" in output
+
+    def test_distribution_extraction_reproduces_fig4(self):
+        output = run_example("distribution_extraction.py")
+        assert "P(0) = 0.50, P(1) = 0.50" in output
+        assert "0.411" in output
+
+    def test_teleportation_example(self):
+        output = run_example("teleportation_verification.py")
+        assert "Scheme 1 (unitary reconstruction): equivalent" in output
+        assert "not_equivalent" in output

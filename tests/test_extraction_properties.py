@@ -1,0 +1,75 @@
+"""Property-based tests of the extraction scheme and the transformation scheme.
+
+The key invariants, checked on randomly generated dynamic circuits:
+
+* the extracted distribution is a probability distribution (non-negative,
+  sums to 1),
+* it agrees with the ensemble density-matrix simulator (ground truth),
+* it is identical for the statevector and the decision-diagram backends,
+* it is preserved by the unitary reconstruction (Scheme 1), and
+* the reconstruction never contains non-unitary primitives and uses exactly
+  ``n + r`` qubits.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.random_circuits import random_dynamic_circuit
+from repro.core.distributions import total_variation_distance
+from repro.core.extraction import extract_distribution
+from repro.core.transformation import to_unitary_circuit
+from repro.simulators.density_matrix import DensityMatrixSimulator
+
+MAX_EXAMPLES = 15
+
+dynamic_circuits = st.builds(
+    random_dynamic_circuit,
+    num_qubits=st.integers(min_value=1, max_value=3),
+    depth=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_measurements=st.integers(min_value=1, max_value=3),
+)
+
+
+class TestExtractionInvariants:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(circuit=dynamic_circuits)
+    def test_is_probability_distribution(self, circuit):
+        result = extract_distribution(circuit)
+        assert all(value >= 0.0 for value in result.distribution.values())
+        np.testing.assert_allclose(result.total_probability(), 1.0, atol=1e-9)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(circuit=dynamic_circuits)
+    def test_matches_density_matrix_ground_truth(self, circuit):
+        extracted = extract_distribution(circuit).distribution
+        reference = DensityMatrixSimulator().run(circuit)
+        assert total_variation_distance(extracted, reference) < 1e-8
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(circuit=dynamic_circuits)
+    def test_backends_agree(self, circuit):
+        dense = extract_distribution(circuit, backend="statevector").distribution
+        dd = extract_distribution(circuit, backend="dd").distribution
+        assert total_variation_distance(dense, dd) < 1e-8
+
+
+class TestTransformationInvariants:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(circuit=dynamic_circuits)
+    def test_reconstruction_is_unitary_and_sized_correctly(self, circuit):
+        result = to_unitary_circuit(circuit)
+        assert not result.circuit.is_dynamic
+        assert result.circuit.num_resets == 0
+        assert result.circuit.num_classically_controlled == 0
+        # n + r qubits, where r counts only effective resets (paper, Section 4).
+        assert result.circuit.num_qubits == circuit.num_qubits + result.num_added_qubits
+        assert result.num_added_qubits <= circuit.num_resets
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(circuit=dynamic_circuits)
+    def test_reconstruction_preserves_distribution(self, circuit):
+        original = extract_distribution(circuit).distribution
+        reconstructed = extract_distribution(to_unitary_circuit(circuit).circuit).distribution
+        assert total_variation_distance(original, reconstructed) < 1e-8

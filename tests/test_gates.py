@@ -1,0 +1,260 @@
+"""Tests for the standard gate library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import (
+    CCXGate,
+    CCZGate,
+    CHGate,
+    ControlledGate,
+    CPhaseGate,
+    CRXGate,
+    CRYGate,
+    CRZGate,
+    CSwapGate,
+    CUGate,
+    CXGate,
+    CYGate,
+    CZGate,
+    GlobalPhaseGate,
+    HGate,
+    IGate,
+    MCPhaseGate,
+    MCXGate,
+    Measure,
+    PhaseGate,
+    Reset,
+    RXGate,
+    RYGate,
+    RZGate,
+    SdgGate,
+    SGate,
+    STANDARD_GATES,
+    SwapGate,
+    SXdgGate,
+    SXGate,
+    TdgGate,
+    TGate,
+    U2Gate,
+    UGate,
+    XGate,
+    YGate,
+    ZGate,
+    get_gate,
+    iSwapGate,
+)
+from repro.exceptions import CircuitError
+
+ALL_FIXED_GATES = [
+    IGate(),
+    XGate(),
+    YGate(),
+    ZGate(),
+    HGate(),
+    SGate(),
+    SdgGate(),
+    TGate(),
+    TdgGate(),
+    SXGate(),
+    SXdgGate(),
+    CXGate(),
+    CYGate(),
+    CZGate(),
+    CHGate(),
+    SwapGate(),
+    iSwapGate(),
+    CCXGate(),
+    CCZGate(),
+    CSwapGate(),
+]
+
+PARAMETRIC_GATES = [
+    RXGate(0.4),
+    RYGate(-1.3),
+    RZGate(2.1),
+    PhaseGate(0.9),
+    UGate(0.3, 1.1, -0.7),
+    U2Gate(0.2, 0.5),
+    CPhaseGate(0.8),
+    CRXGate(-0.6),
+    CRYGate(1.9),
+    CRZGate(0.1),
+    CUGate(0.4, 0.5, 0.6),
+    GlobalPhaseGate(0.77),
+    MCXGate(3),
+    MCPhaseGate(0.3, 2),
+]
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize("gate", ALL_FIXED_GATES + PARAMETRIC_GATES, ids=lambda g: g.name)
+    def test_matrix_is_unitary(self, gate):
+        matrix = gate.matrix
+        dim = matrix.shape[0]
+        assert matrix.shape == (dim, dim)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-12)
+
+    @pytest.mark.parametrize("gate", ALL_FIXED_GATES + PARAMETRIC_GATES, ids=lambda g: g.name)
+    def test_matrix_dimension_matches_qubits(self, gate):
+        assert gate.matrix.shape[0] == 2**gate.num_qubits
+
+    @pytest.mark.parametrize("gate", ALL_FIXED_GATES + PARAMETRIC_GATES, ids=lambda g: g.name)
+    def test_inverse_is_adjoint(self, gate):
+        assert np.allclose(gate.inverse().matrix, gate.matrix.conj().T, atol=1e-12)
+
+
+class TestSpecificMatrices:
+    def test_x_matrix(self):
+        assert np.allclose(XGate().matrix, [[0, 1], [1, 0]])
+
+    def test_h_matrix(self):
+        s = 1 / math.sqrt(2)
+        assert np.allclose(HGate().matrix, [[s, s], [s, -s]])
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(SGate().matrix @ SGate().matrix, ZGate().matrix)
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(TGate().matrix @ TGate().matrix, SGate().matrix)
+
+    def test_sx_squared_is_x(self):
+        assert np.allclose(SXGate().matrix @ SXGate().matrix, XGate().matrix)
+
+    def test_phase_gate_diagonal(self):
+        theta = 0.37
+        assert np.allclose(PhaseGate(theta).matrix, np.diag([1, np.exp(1j * theta)]))
+
+    def test_rz_traceless_convention(self):
+        theta = 0.9
+        expected = np.diag([np.exp(-1j * theta / 2), np.exp(1j * theta / 2)])
+        assert np.allclose(RZGate(theta).matrix, expected)
+
+    def test_u_gate_reduces_to_known_gates(self):
+        assert np.allclose(UGate(math.pi, 0, math.pi).matrix, XGate().matrix, atol=1e-12)
+        assert np.allclose(
+            UGate(math.pi / 2, 0, math.pi).matrix, HGate().matrix, atol=1e-12
+        )
+
+    def test_cx_matrix_little_endian(self):
+        # Control is the first (least significant) qubit.
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+        )
+        assert np.allclose(CXGate().matrix, expected)
+
+    def test_swap_matrix(self):
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+        )
+        assert np.allclose(SwapGate().matrix, expected)
+
+    def test_cswap_swaps_when_control_set(self):
+        matrix = CSwapGate().matrix
+        # |control=1, a=1, b=0> = index 0b011 = 3 maps to |control=1, a=0, b=1> = 0b101 = 5
+        assert matrix[5, 3] == 1
+        assert matrix[3, 3] == 0
+
+    def test_global_phase(self):
+        gate = GlobalPhaseGate(math.pi / 3)
+        assert np.allclose(gate.matrix, [[np.exp(1j * math.pi / 3)]])
+
+
+class TestControlledGates:
+    def test_controlled_gate_matrix_matches_manual_construction(self):
+        theta = 0.83
+        gate = CPhaseGate(theta)
+        expected = np.eye(4, dtype=complex)
+        expected[3, 3] = np.exp(1j * theta)
+        assert np.allclose(gate.matrix, expected)
+
+    def test_negative_control(self):
+        gate = CXGate(ctrl_state=0)
+        # Applies X to the target when the control is |0>.
+        expected = np.array(
+            [[0, 0, 1, 0], [0, 1, 0, 0], [1, 0, 0, 0], [0, 0, 0, 1]], dtype=complex
+        )
+        assert np.allclose(gate.matrix, expected)
+
+    def test_ccx_only_flips_when_both_controls_set(self):
+        matrix = CCXGate().matrix
+        # |c1 c0 t> with controls at bits 0, 1 and target at bit 2.
+        assert matrix[0b111, 0b011] == 1
+        assert matrix[0b011, 0b111] == 1
+        assert matrix[0b001, 0b001] == 1
+
+    def test_control_method_wraps_gate(self):
+        controlled = HGate().control()
+        assert isinstance(controlled, ControlledGate)
+        assert controlled.num_qubits == 2
+        assert np.allclose(controlled.matrix, CHGate().matrix)
+
+    def test_control_of_controlled_gate_stacks(self):
+        ccx = XGate().control().control()
+        assert ccx.num_ctrl_qubits == 2
+        assert np.allclose(ccx.matrix, CCXGate().matrix)
+
+    def test_mcx_matches_repeated_control(self):
+        assert np.allclose(MCXGate(2).matrix, CCXGate().matrix)
+
+    def test_invalid_ctrl_state_raises(self):
+        with pytest.raises(CircuitError):
+            ControlledGate(XGate(), 1, ctrl_state=2)
+
+    def test_zero_controls_raises(self):
+        with pytest.raises(CircuitError):
+            ControlledGate(XGate(), 0)
+
+    def test_controlled_gate_inverse_preserves_ctrl_state(self):
+        gate = CPhaseGate(0.5, ctrl_state=0)
+        inverse = gate.inverse()
+        assert inverse.ctrl_state == 0
+        assert np.allclose(inverse.matrix, gate.matrix.conj().T)
+
+
+class TestDefinitions:
+    @pytest.mark.parametrize("gate", [SwapGate(), iSwapGate(), CSwapGate()], ids=lambda g: g.name)
+    def test_definition_reproduces_matrix(self, gate):
+        from repro.simulators.unitary import embed_gate_matrix
+
+        total = np.eye(2**gate.num_qubits, dtype=complex)
+        for sub_gate, qubits in gate.definition():
+            total = embed_gate_matrix(sub_gate.matrix, qubits, gate.num_qubits) @ total
+        assert np.allclose(total, gate.matrix, atol=1e-12)
+
+    def test_single_qubit_gates_have_no_definition(self):
+        assert HGate().definition() is None
+
+    def test_power(self):
+        assert len(TGate().power(3)) == 3
+        inverse_power = PhaseGate(0.3).power(-2)
+        assert len(inverse_power) == 2
+        assert np.allclose(inverse_power[0].matrix, PhaseGate(-0.3).matrix)
+
+
+class TestGateLookup:
+    @pytest.mark.parametrize("name", sorted(STANDARD_GATES))
+    def test_every_standard_gate_constructible(self, name):
+        _, num_params = STANDARD_GATES[name]
+        gate = get_gate(name, [0.1 * (k + 1) for k in range(num_params)])
+        assert gate.num_qubits >= 1
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            get_gate("nope")
+
+    def test_wrong_parameter_count_raises(self):
+        with pytest.raises(CircuitError):
+            get_gate("rx")
+
+    def test_equality_by_name_and_params(self):
+        assert RXGate(0.5) == RXGate(0.5)
+        assert RXGate(0.5) != RXGate(0.6)
+        assert XGate() != YGate()
+
+    def test_non_unitary_operations(self):
+        assert not Measure().is_unitary
+        assert not Reset().is_unitary
+        assert Measure().num_clbits == 1

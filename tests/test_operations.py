@@ -1,0 +1,96 @@
+"""Tests for instructions and classical conditions."""
+
+import pytest
+
+from repro.circuit.gates import CXGate, HGate, Measure, Reset, XGate
+from repro.circuit.operations import ClassicalCondition, Instruction
+from repro.exceptions import CircuitError
+
+
+class TestClassicalCondition:
+    def test_bit_values(self):
+        condition = ClassicalCondition((0, 2), 0b10)
+        assert condition.bit_values == (0, 1)
+
+    def test_is_satisfied(self):
+        condition = ClassicalCondition((1,), 1)
+        assert condition.is_satisfied([0, 1, 0])
+        assert not condition.is_satisfied([0, 0, 0])
+
+    def test_multi_bit_condition(self):
+        condition = ClassicalCondition((0, 1), 0b01)
+        assert condition.is_satisfied([1, 0])
+        assert not condition.is_satisfied([1, 1])
+        assert not condition.is_satisfied([0, 0])
+
+    def test_empty_condition_raises(self):
+        with pytest.raises(CircuitError):
+            ClassicalCondition((), 0)
+
+    def test_duplicate_bits_raise(self):
+        with pytest.raises(CircuitError):
+            ClassicalCondition((0, 0), 1)
+
+    def test_value_out_of_range_raises(self):
+        with pytest.raises(CircuitError):
+            ClassicalCondition((0,), 2)
+
+
+class TestInstruction:
+    def test_gate_instruction(self):
+        instruction = Instruction(HGate(), (0,))
+        assert instruction.is_gate
+        assert not instruction.is_dynamic
+
+    def test_measurement_is_dynamic(self):
+        instruction = Instruction(Measure(), (0,), (0,))
+        assert instruction.is_measurement
+        assert instruction.is_dynamic
+
+    def test_reset_is_dynamic(self):
+        instruction = Instruction(Reset(), (1,))
+        assert instruction.is_reset
+        assert instruction.is_dynamic
+
+    def test_conditioned_gate_is_dynamic(self):
+        condition = ClassicalCondition((0,), 1)
+        instruction = Instruction(XGate(), (0,), condition=condition)
+        assert instruction.is_classically_controlled
+        assert instruction.is_dynamic
+
+    def test_wrong_qubit_count_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction(CXGate(), (0,))
+
+    def test_duplicate_qubits_raise(self):
+        with pytest.raises(CircuitError):
+            Instruction(CXGate(), (1, 1))
+
+    def test_missing_clbit_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction(Measure(), (0,))
+
+    def test_condition_on_measurement_raises(self):
+        condition = ClassicalCondition((0,), 1)
+        with pytest.raises(CircuitError):
+            Instruction(Measure(), (0,), (0,), condition)
+
+    def test_replace(self):
+        instruction = Instruction(XGate(), (0,), condition=ClassicalCondition((0,), 1))
+        moved = instruction.replace(qubits=(2,))
+        assert moved.qubits == (2,)
+        assert moved.condition == instruction.condition
+        stripped = instruction.replace(drop_condition=True)
+        assert stripped.condition is None
+
+    def test_equality_and_hash(self):
+        first = Instruction(XGate(), (0,))
+        second = Instruction(XGate(), (0,))
+        third = Instruction(XGate(), (1,))
+        assert first == second
+        assert first != third
+        assert len({first, second, third}) == 2
+
+    def test_repr_mentions_condition(self):
+        instruction = Instruction(XGate(), (0,), condition=ClassicalCondition((3,), 1))
+        assert "if" in repr(instruction)

@@ -1,0 +1,178 @@
+"""Tests for OpenQASM 2 export and import."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bernstein_vazirani_dynamic,
+    iterative_qpe,
+    qft_dynamic,
+    qpe_static,
+)
+from repro.circuit import (
+    ClassicalRegister,
+    QuantumCircuit,
+    QuantumRegister,
+    circuit_from_qasm,
+    circuit_to_qasm,
+    random_static_circuit,
+)
+from repro.exceptions import QasmError
+from repro.simulators.unitary import circuit_unitary, matrices_equal_up_to_global_phase
+
+
+def assert_same_functionality(first: QuantumCircuit, second: QuantumCircuit) -> None:
+    assert first.num_qubits == second.num_qubits
+    if not first.is_dynamic and not second.is_dynamic:
+        assert matrices_equal_up_to_global_phase(
+            circuit_unitary(first), circuit_unitary(second)
+        )
+
+
+class TestExport:
+    def test_header_and_registers(self):
+        circuit = QuantumCircuit(QuantumRegister(2, "qr"), ClassicalRegister(1, "cr"))
+        qasm = circuit_to_qasm(circuit)
+        assert qasm.startswith("OPENQASM 2.0;")
+        assert "qreg qr[2];" in qasm
+        assert "creg cr[1];" in qasm
+
+    def test_gate_statements(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(math.pi / 2, 1)
+        circuit.measure(1, 0)
+        qasm = circuit_to_qasm(circuit)
+        assert "h q[0];" in qasm
+        assert "cx q[0], q[1];" in qasm
+        assert "rz(pi/2) q[1];" in qasm
+        assert "measure q[1] -> c[0];" in qasm
+
+    def test_reset_and_barrier(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.reset(0)
+        circuit.barrier()
+        qasm = circuit_to_qasm(circuit)
+        assert "reset q[0];" in qasm
+        assert "barrier" in qasm
+
+    def test_condition_on_full_register(self):
+        circuit = QuantumCircuit(QuantumRegister(1, "q"), ClassicalRegister(1, "flag"))
+        circuit.x(0, condition=(0, 1))
+        qasm = circuit_to_qasm(circuit)
+        assert "if (flag == 1) x q[0];" in qasm
+
+    def test_condition_on_partial_register_raises(self):
+        circuit = QuantumCircuit(QuantumRegister(1, "q"), ClassicalRegister(2, "c"))
+        circuit.x(0, condition=(0, 1))
+        with pytest.raises(QasmError):
+            circuit_to_qasm(circuit)
+
+    def test_mcx_without_representation_raises(self):
+        circuit = QuantumCircuit(4)
+        circuit.mcx([0, 1, 2], 3)
+        with pytest.raises(QasmError):
+            circuit_to_qasm(circuit)
+
+    def test_pi_formatting(self):
+        circuit = QuantumCircuit(1)
+        circuit.p(3 * math.pi / 8, 0)
+        assert "3*pi/8" in circuit_to_qasm(circuit)
+
+
+class TestImport:
+    def test_simple_program(self):
+        qasm = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0], q[1];
+        measure q[0] -> c[0];
+        measure q[1] -> c[1];
+        """
+        circuit = circuit_from_qasm(qasm)
+        assert circuit.num_qubits == 2
+        assert circuit.num_measurements == 2
+        assert circuit.count_ops()["cx"] == 1
+
+    def test_parameter_expressions(self):
+        circuit = circuit_from_qasm(
+            'OPENQASM 2.0; include "qelib1.inc"; qreg q[1]; rz(3*pi/4) q[0]; p(0.25) q[0];'
+        )
+        assert circuit.data[0].operation.params[0] == pytest.approx(3 * math.pi / 4)
+        assert circuit.data[1].operation.params[0] == pytest.approx(0.25)
+
+    def test_comments_are_ignored(self):
+        circuit = circuit_from_qasm(
+            "OPENQASM 2.0; qreg q[1]; // a comment\nx q[0]; // trailing"
+        )
+        assert circuit.count_ops()["x"] == 1
+
+    def test_if_statement(self):
+        qasm = (
+            "OPENQASM 2.0; qreg q[1]; creg c0[1]; measure q[0] -> c0[0]; "
+            "if (c0 == 1) x q[0];"
+        )
+        circuit = circuit_from_qasm(qasm)
+        assert circuit.data[-1].condition is not None
+        assert circuit.data[-1].condition.value == 1
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(Exception):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; frobnicate q[0];")
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; x r[0];")
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; x q[3];")
+
+    def test_malformed_parameter_raises(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0; qreg q[1]; rz(import) q[0];")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_static_circuits(self, seed):
+        circuit = random_static_circuit(3, 4, seed=seed, measure=True)
+        restored = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert_same_functionality(circuit.remove_final_measurements(), restored.remove_final_measurements())
+
+    def test_dynamic_iqpe_roundtrip(self):
+        circuit = iterative_qpe(3)
+        restored = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert restored.num_resets == circuit.num_resets
+        assert restored.num_measurements == circuit.num_measurements
+        assert restored.num_classically_controlled == circuit.num_classically_controlled
+
+    def test_dynamic_bv_roundtrip_behaviour(self):
+        from repro.core import extract_distribution
+
+        circuit = bernstein_vazirani_dynamic("101")
+        restored = circuit_from_qasm(circuit_to_qasm(circuit))
+        original = extract_distribution(circuit).distribution
+        recovered = extract_distribution(restored).distribution
+        for key, value in original.items():
+            assert recovered[key] == pytest.approx(value, abs=1e-9)
+
+    def test_qft_dynamic_roundtrip_structure(self):
+        circuit = qft_dynamic(3)
+        restored = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert restored.count_ops() == circuit.count_ops()
+
+    def test_qpe_static_roundtrip_unitary(self):
+        circuit = qpe_static(3)
+        restored = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert np.allclose(
+            circuit_unitary(circuit.remove_final_measurements()),
+            circuit_unitary(restored.remove_final_measurements()),
+            atol=1e-9,
+        )

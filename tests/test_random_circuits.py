@@ -1,0 +1,72 @@
+"""Tests for the random circuit generators."""
+
+import pytest
+
+from repro.circuit.random_circuits import random_dynamic_circuit, random_static_circuit
+from repro.core import check_behavioural_equivalence, check_equivalence, to_unitary_circuit
+from repro.exceptions import CircuitError
+
+
+class TestRandomStatic:
+    def test_reproducibility(self):
+        first = random_static_circuit(4, 5, seed=42)
+        second = random_static_circuit(4, 5, seed=42)
+        assert first.data == second.data
+
+    def test_different_seeds_differ(self):
+        first = random_static_circuit(4, 5, seed=1)
+        second = random_static_circuit(4, 5, seed=2)
+        assert first.data != second.data
+
+    def test_measure_flag(self):
+        circuit = random_static_circuit(3, 2, seed=0, measure=True)
+        assert circuit.num_measurements == 3
+        assert not circuit.is_dynamic
+
+    def test_without_measure_has_no_clbits(self):
+        circuit = random_static_circuit(3, 2, seed=0)
+        assert circuit.num_clbits == 0
+
+    def test_depth_zero(self):
+        circuit = random_static_circuit(3, 0, seed=0)
+        assert circuit.size == 0
+
+    def test_single_qubit_circuit(self):
+        circuit = random_static_circuit(1, 5, seed=0)
+        assert all(inst.operation.num_qubits == 1 for inst in circuit)
+
+    def test_two_qubit_probability_zero(self):
+        circuit = random_static_circuit(4, 5, seed=0, two_qubit_probability=0.0)
+        assert all(inst.operation.num_qubits == 1 for inst in circuit)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CircuitError):
+            random_static_circuit(0, 3)
+        with pytest.raises(CircuitError):
+            random_static_circuit(2, -1)
+
+
+class TestRandomDynamic:
+    def test_contains_dynamic_primitives(self):
+        circuit = random_dynamic_circuit(3, 6, seed=5, num_measurements=3)
+        assert circuit.is_dynamic
+        assert circuit.num_measurements == 3
+        assert circuit.num_resets >= 3
+
+    def test_reproducibility(self):
+        first = random_dynamic_circuit(3, 6, seed=7)
+        second = random_dynamic_circuit(3, 6, seed=7)
+        assert first.data == second.data
+
+    def test_invalid_measurement_count(self):
+        with pytest.raises(CircuitError):
+            random_dynamic_circuit(2, 4, num_measurements=0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_transformable_and_self_consistent(self, seed):
+        """Every generated dynamic circuit must be handled by both schemes."""
+        circuit = random_dynamic_circuit(3, 5, seed=seed, num_measurements=2)
+        reconstructed = to_unitary_circuit(circuit).circuit
+        assert not reconstructed.is_dynamic
+        assert check_equivalence(reconstructed, circuit).equivalent
+        assert check_behavioural_equivalence(reconstructed, circuit).equivalent

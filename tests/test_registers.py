@@ -1,0 +1,85 @@
+"""Tests for quantum and classical registers."""
+
+import pytest
+
+from repro.circuit.registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
+from repro.exceptions import CircuitError
+
+
+class TestQuantumRegister:
+    def test_size_and_name(self):
+        register = QuantumRegister(3, "work")
+        assert register.size == 3
+        assert register.name == "work"
+        assert len(register) == 3
+
+    def test_indexing_returns_qubits(self):
+        register = QuantumRegister(2, "q")
+        assert isinstance(register[0], Qubit)
+        assert register[0].index == 0
+        assert register[1].register is register
+
+    def test_slice(self):
+        register = QuantumRegister(4, "q")
+        assert register[1:3] == [register[1], register[2]]
+
+    def test_iteration(self):
+        register = QuantumRegister(3, "q")
+        assert [qubit.index for qubit in register] == [0, 1, 2]
+
+    def test_auto_name(self):
+        first = QuantumRegister(1)
+        second = QuantumRegister(1)
+        assert first.name != second.name
+
+    def test_negative_size_raises(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(-1, "q")
+
+    def test_invalid_name_raises(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(1, "2bad")
+
+    def test_registers_compare_by_identity(self):
+        a = QuantumRegister(2, "same")
+        b = QuantumRegister(2, "same")
+        assert a == a
+        assert a != b
+
+
+class TestBits:
+    def test_bit_equality_within_register(self):
+        register = QuantumRegister(2, "q")
+        assert register[0] == register[0]
+        assert register[0] != register[1]
+
+    def test_bits_of_different_registers_differ(self):
+        a = QuantumRegister(1, "a")
+        b = QuantumRegister(1, "b")
+        assert a[0] != b[0]
+
+    def test_qubit_and_clbit_are_distinct_types(self):
+        q = QuantumRegister(1, "q")
+        c = ClassicalRegister(1, "c")
+        assert q[0] != c[0]
+        assert isinstance(c[0], Clbit)
+
+    def test_bits_are_hashable(self):
+        register = QuantumRegister(3, "q")
+        assert len({register[0], register[1], register[0]}) == 2
+
+    def test_out_of_range_bit_raises(self):
+        register = QuantumRegister(2, "q")
+        with pytest.raises(IndexError):
+            register[5]
+
+
+class TestClassicalRegister:
+    def test_basic(self):
+        register = ClassicalRegister(4, "c")
+        assert register.size == 4
+        assert all(isinstance(bit, Clbit) for bit in register)
+
+    def test_repr_contains_name(self):
+        register = ClassicalRegister(2, "flags")
+        assert "flags" in repr(register)

@@ -1,0 +1,196 @@
+"""Tests for the dense statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import CXGate, HGate, XGate
+from repro.exceptions import SimulationError
+from repro.simulators.statevector import Statevector, StatevectorSimulator, apply_matrix_to_state
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        state = Statevector.zero_state(2)
+        assert np.allclose(state.data, [1, 0, 0, 0])
+
+    def test_basis_state(self):
+        state = Statevector.basis_state(2, 2)
+        assert np.allclose(state.data, [0, 0, 1, 0])
+
+    def test_from_bitstring_is_msb_first(self):
+        # "10" means qubit 1 = 1, qubit 0 = 0 -> index 2.
+        state = Statevector.from_bitstring("10")
+        assert np.allclose(state.data, [0, 0, 1, 0])
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(SimulationError):
+            Statevector([1, 0, 0], 2)
+
+    def test_basis_state_out_of_range(self):
+        with pytest.raises(SimulationError):
+            Statevector.basis_state(1, 5)
+
+
+class TestGateApplication:
+    def test_x_gate(self):
+        state = Statevector.zero_state(1).apply_gate(XGate(), [0])
+        assert np.allclose(state.data, [0, 1])
+
+    def test_h_gate(self):
+        state = Statevector.zero_state(1).apply_gate(HGate(), [0])
+        assert np.allclose(state.data, [1 / math.sqrt(2), 1 / math.sqrt(2)])
+
+    def test_bell_state(self):
+        state = Statevector.zero_state(2)
+        state = state.apply_gate(HGate(), [0])
+        state = state.apply_gate(CXGate(), [0, 1])
+        expected = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        assert np.allclose(state.data, expected)
+
+    def test_gate_on_upper_qubit(self):
+        state = Statevector.zero_state(2).apply_gate(XGate(), [1])
+        assert np.allclose(state.data, [0, 0, 1, 0])
+
+    def test_cx_direction_matters(self):
+        state = Statevector.basis_state(2, 0b10)  # qubit 1 set
+        flipped = state.apply_gate(CXGate(), [1, 0])  # control qubit 1 -> target qubit 0
+        assert np.allclose(flipped.data, Statevector.basis_state(2, 0b11).data)
+        unchanged = state.apply_gate(CXGate(), [0, 1])
+        assert np.allclose(unchanged.data, state.data)
+
+    def test_apply_matrix_rejects_bad_shape(self):
+        with pytest.raises(SimulationError):
+            apply_matrix_to_state(np.zeros(4, dtype=complex), np.eye(2), [0, 1], 2)
+
+    def test_apply_matrix_rejects_duplicates(self):
+        with pytest.raises(SimulationError):
+            apply_matrix_to_state(np.zeros(4, dtype=complex), np.eye(4), [0, 0], 2)
+
+    def test_apply_matrix_matches_embedding(self):
+        from repro.simulators.unitary import embed_gate_matrix
+
+        rng = np.random.default_rng(5)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        gate = CXGate().matrix
+        direct = apply_matrix_to_state(state, gate, [2, 0], 3)
+        embedded = embed_gate_matrix(gate, [2, 0], 3) @ state
+        assert np.allclose(direct, embedded)
+
+
+class TestMeasurement:
+    def test_probability_of_one(self):
+        state = Statevector.zero_state(1).apply_gate(HGate(), [0])
+        assert state.probability_of_one(0) == pytest.approx(0.5)
+
+    def test_probability_on_entangled_state(self):
+        state = Statevector.zero_state(2)
+        state = state.apply_gate(HGate(), [0]).apply_gate(CXGate(), [0, 1])
+        assert state.probability_of_one(1) == pytest.approx(0.5)
+
+    def test_collapse(self):
+        state = Statevector.zero_state(2)
+        state = state.apply_gate(HGate(), [0]).apply_gate(CXGate(), [0, 1])
+        collapsed = state.collapse(0, 1)
+        assert np.allclose(collapsed.data, Statevector.basis_state(2, 3).data)
+
+    def test_collapse_zero_probability_raises(self):
+        state = Statevector.zero_state(1)
+        with pytest.raises(SimulationError):
+            state.collapse(0, 1)
+
+    def test_collapse_invalid_outcome_raises(self):
+        state = Statevector.zero_state(1)
+        with pytest.raises(SimulationError):
+            state.collapse(0, 2)
+
+    def test_reset_outcomes_of_plus_state(self):
+        state = Statevector.zero_state(1).apply_gate(HGate(), [0])
+        branches = state.reset_qubit_outcomes(0)
+        assert len(branches) == 2
+        for probability, branch in branches:
+            assert probability == pytest.approx(0.5)
+            assert np.allclose(branch.data, [1, 0])
+
+    def test_reset_outcomes_of_basis_state(self):
+        state = Statevector.basis_state(1, 1)
+        branches = state.reset_qubit_outcomes(0)
+        assert len(branches) == 1
+        probability, branch = branches[0]
+        assert probability == pytest.approx(1.0)
+        assert np.allclose(branch.data, [1, 0])
+
+
+class TestReadOut:
+    def test_probabilities_dict(self):
+        state = Statevector.zero_state(2)
+        state = state.apply_gate(HGate(), [0]).apply_gate(CXGate(), [0, 1])
+        probabilities = state.probabilities_dict()
+        assert probabilities == pytest.approx({"00": 0.5, "11": 0.5})
+
+    def test_sample_counts_total(self):
+        state = Statevector.zero_state(1).apply_gate(HGate(), [0])
+        counts = state.sample_counts(200, seed=3)
+        assert sum(counts.values()) == 200
+        assert set(counts) <= {"0", "1"}
+
+    def test_fidelity_and_equiv(self):
+        plus = Statevector.zero_state(1).apply_gate(HGate(), [0])
+        phased = Statevector(plus.data * np.exp(0.3j))
+        assert plus.fidelity(phased) == pytest.approx(1.0)
+        assert plus.equiv(phased)
+        assert plus.fidelity(Statevector.basis_state(1, 0)) == pytest.approx(0.5)
+
+    def test_inner_product_size_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(1).inner_product(Statevector.zero_state(2))
+
+    def test_normalize(self):
+        state = Statevector([2, 0], 1).normalize()
+        assert state.norm() == pytest.approx(1.0)
+        with pytest.raises(SimulationError):
+            Statevector([0, 0], 1).normalize()
+
+
+class TestSimulator:
+    def test_run_ignores_final_measurements(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        state = StatevectorSimulator().run(circuit)
+        assert state.probabilities_dict() == pytest.approx({"00": 0.5, "11": 0.5})
+
+    def test_run_rejects_dynamic_circuit(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.x(0, condition=(0, 1))
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run(circuit)
+
+    def test_run_with_initial_bitstring(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(1, 0)
+        state = StatevectorSimulator().run(circuit, "10")
+        assert np.allclose(state.data, Statevector.from_bitstring("11").data)
+
+    def test_run_with_initial_state_object(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        initial = Statevector.basis_state(1, 1)
+        state = StatevectorSimulator().run(circuit, initial)
+        assert np.allclose(state.data, [1, 0])
+
+    def test_initial_state_size_mismatch_raises(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run(circuit, Statevector.zero_state(1))
+
+    def test_run_with_conditioned_gate_on_static_circuit(self):
+        # A condition makes the circuit dynamic even if trivially satisfied.
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0, condition=(0, 1))
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run(circuit)

@@ -1,0 +1,222 @@
+"""Tests for Scheme 1: unitary reconstruction through circuit transformation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import iterative_qpe, qpe_static, running_example_lambda
+from repro.circuit import QuantumCircuit
+from repro.core.transformation import (
+    defer_measurements,
+    permute_qubits,
+    substitute_resets,
+    to_unitary_circuit,
+)
+from repro.exceptions import TransformationError
+from repro.simulators.unitary import circuit_unitary, matrices_equal_up_to_global_phase
+
+
+class TestSubstituteResets:
+    def test_no_resets_returns_copy(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        result = substitute_resets(circuit)
+        assert result.num_qubits == 2
+        assert result.size == 1
+
+    def test_one_reset_adds_one_qubit(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.reset(0)
+        circuit.h(0)
+        circuit.measure(0, 1)
+        result = substitute_resets(circuit)
+        assert result.num_qubits == 2
+        assert result.num_resets == 0
+        # The second H acts on the fresh qubit.
+        h_targets = [inst.qubits[0] for inst in result if inst.operation.name == "h"]
+        assert h_targets == [0, 1]
+
+    def test_reset_on_untouched_qubit_is_dropped(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.reset(1)
+        circuit.h(0)
+        result = substitute_resets(circuit)
+        assert result.num_qubits == 2
+        assert result.num_resets == 0
+
+    def test_multiple_resets_same_qubit(self):
+        circuit = QuantumCircuit(1, 3)
+        for k in range(3):
+            circuit.h(0)
+            circuit.measure(0, k)
+            if k < 2:
+                circuit.reset(0)
+        result = substitute_resets(circuit)
+        assert result.num_qubits == 3
+        measured = [inst.qubits[0] for inst in result if inst.is_measurement]
+        assert measured == [0, 1, 2]
+
+    def test_paper_example_qubit_count(self):
+        """An n-qubit circuit with r resets becomes an (n + r)-qubit circuit."""
+        dynamic = iterative_qpe(3)
+        assert dynamic.num_qubits == 2
+        assert dynamic.num_resets == 2
+        result = substitute_resets(dynamic)
+        assert result.num_qubits == 4
+
+    def test_conditions_are_preserved(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.reset(0)
+        circuit.x(0, condition=(0, 1))
+        result = substitute_resets(circuit)
+        conditioned = [inst for inst in result if inst.condition is not None]
+        assert len(conditioned) == 1
+        assert conditioned[0].qubits == (1,)
+
+
+class TestDeferMeasurements:
+    def test_measurements_moved_to_end(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.h(1)
+        deferred, sources = defer_measurements(circuit)
+        assert deferred.data[-1].is_measurement
+        assert sources == {0: 0}
+
+    def test_classical_control_becomes_quantum_control(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(1, condition=(0, 1))
+        deferred, _ = defer_measurements(circuit)
+        names = [inst.operation.name for inst in deferred]
+        assert "cx" in names
+        cx = next(inst for inst in deferred if inst.operation.name == "cx")
+        assert cx.qubits == (0, 1)
+
+    def test_condition_value_zero_becomes_negative_control(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(1, condition=(0, 0))
+        deferred, _ = defer_measurements(circuit)
+        controlled = next(inst for inst in deferred if inst.operation.num_qubits == 2)
+        assert controlled.operation.ctrl_state == 0
+
+    def test_condition_on_never_written_bit(self):
+        circuit = QuantumCircuit(1, 1)
+        # The classical bit is never written: requiring 1 drops the gate,
+        # requiring 0 keeps it unconditioned.
+        circuit.x(0, condition=(0, 1))
+        circuit.h(0, condition=(0, 0))
+        deferred, _ = defer_measurements(circuit)
+        names = [inst.operation.name for inst in deferred]
+        assert names == ["h"]
+
+    def test_reset_must_be_removed_first(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.reset(0)
+        with pytest.raises(TransformationError):
+            defer_measurements(circuit)
+
+    def test_measured_qubit_reuse_raises(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.h(0)
+        with pytest.raises(TransformationError):
+            defer_measurements(circuit)
+
+    def test_control_equal_to_target_raises(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        # After substitution the source qubit of c0 is qubit 0; conditioning a
+        # gate on qubit 0 itself cannot be converted.
+        circuit.x(1, condition=(0, 1))
+        # Manually craft the conflicting case: condition controls the gate's own qubit.
+        conflict = QuantumCircuit(1, 1)
+        conflict.h(0)
+        conflict.measure(0, 0)
+        with pytest.raises(TransformationError):
+            conflict.x(0, condition=(0, 1))
+            defer_measurements(conflict)
+
+    def test_deferred_circuit_preserves_fixed_input_behaviour(self):
+        from repro.core.extraction import extract_distribution
+
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(1, condition=(0, 1))
+        circuit.measure(1, 1)
+        deferred, _ = defer_measurements(circuit)
+        original = extract_distribution(circuit).distribution
+        reconstructed = extract_distribution(deferred).distribution
+        assert original == pytest.approx(reconstructed)
+
+
+class TestToUnitaryCircuit:
+    def test_result_is_unitary_circuit(self):
+        result = to_unitary_circuit(iterative_qpe(3))
+        assert not result.circuit.is_dynamic
+        assert result.circuit.num_resets == 0
+        assert result.num_added_qubits == 2
+        assert result.num_original_qubits == 2
+        assert result.time_taken >= 0.0
+
+    def test_measurement_sources_cover_all_clbits(self):
+        result = to_unitary_circuit(iterative_qpe(4))
+        assert set(result.measurement_sources.keys()) == set(range(4))
+
+    def test_iqpe_reconstruction_equals_static_qpe(self):
+        """Fig. 3b equals Fig. 1a: the reconstructed IQPE is the static QPE."""
+        for num_bits in (2, 3):
+            dynamic = iterative_qpe(num_bits, running_example_lambda)
+            static = qpe_static(num_bits, running_example_lambda)
+            reconstructed = to_unitary_circuit(dynamic).circuit
+            assert matrices_equal_up_to_global_phase(
+                circuit_unitary(reconstructed.remove_final_measurements()),
+                circuit_unitary(static.remove_final_measurements()),
+            )
+
+    def test_already_static_circuit_passes_through(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        result = to_unitary_circuit(circuit)
+        assert result.num_added_qubits == 0
+        assert np.allclose(
+            circuit_unitary(result.circuit), circuit_unitary(circuit), atol=1e-12
+        )
+
+
+class TestPermuteQubits:
+    def test_permutation_relabels_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        permuted = permute_qubits(circuit, {0: 2, 1: 1, 2: 0})
+        assert permuted.data[0].qubits == (2, 0)
+
+    def test_permutation_preserves_gate_count(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.ccx(0, 1, 2)
+        permuted = permute_qubits(circuit, {0: 1, 1: 2, 2: 0})
+        assert permuted.count_ops() == circuit.count_ops()
+
+    def test_invalid_permutation_raises(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(TransformationError):
+            permute_qubits(circuit, {0: 0, 1: 0})
+
+    def test_identity_permutation_keeps_functionality(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        permuted = permute_qubits(circuit, {0: 0, 1: 1})
+        assert np.allclose(circuit_unitary(permuted), circuit_unitary(circuit))

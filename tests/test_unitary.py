@@ -1,0 +1,117 @@
+"""Tests for dense system-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import CCXGate, CXGate, HGate, XGate
+from repro.exceptions import SimulationError
+from repro.simulators.unitary import (
+    circuit_unitary,
+    embed_gate_matrix,
+    matrices_equal_up_to_global_phase,
+    process_fidelity,
+)
+
+
+class TestEmbedding:
+    def test_single_qubit_on_lowest(self):
+        embedded = embed_gate_matrix(XGate().matrix, [0], 2)
+        expected = np.kron(np.eye(2), XGate().matrix)
+        assert np.allclose(embedded, expected)
+
+    def test_single_qubit_on_highest(self):
+        embedded = embed_gate_matrix(XGate().matrix, [1], 2)
+        expected = np.kron(XGate().matrix, np.eye(2))
+        assert np.allclose(embedded, expected)
+
+    def test_cx_non_adjacent_qubits(self):
+        embedded = embed_gate_matrix(CXGate().matrix, [0, 2], 3)
+        # Control on qubit 0, target on qubit 2: |001> -> |101>.
+        assert embedded[0b101, 0b001] == 1
+        assert embedded[0b001, 0b101] == 1
+        assert embedded[0b011, 0b011] == 0
+        assert embedded[0b111, 0b011] == 1
+
+    def test_ccx_embedding(self):
+        embedded = embed_gate_matrix(CCXGate().matrix, [2, 0, 1], 3)
+        # Controls on qubits 2 and 0, target on qubit 1.
+        assert embedded[0b111, 0b101] == 1
+
+    def test_unitarity_preserved(self):
+        embedded = embed_gate_matrix(HGate().matrix, [1], 3)
+        assert np.allclose(embedded @ embedded.conj().T, np.eye(8))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            embed_gate_matrix(np.eye(2), [0, 1], 2)
+
+    def test_duplicate_targets_raise(self):
+        with pytest.raises(SimulationError):
+            embed_gate_matrix(np.eye(4), [0, 0], 2)
+
+
+class TestCircuitUnitary:
+    def test_bell_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        unitary = circuit_unitary(circuit)
+        state = unitary[:, 0]
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0, 0, 0.5])
+
+    def test_order_of_application(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.h(0)
+        unitary = circuit_unitary(circuit)
+        assert np.allclose(unitary, HGate().matrix @ XGate().matrix)
+
+    def test_final_measurements_ignored(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        assert np.allclose(circuit_unitary(circuit), HGate().matrix)
+
+    def test_dynamic_circuit_raises(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.x(0, condition=(0, 1))
+        with pytest.raises(SimulationError):
+            circuit_unitary(circuit)
+
+    def test_global_phase_gate(self):
+        circuit = QuantumCircuit(1)
+        circuit.global_phase(0.4)
+        assert np.allclose(circuit_unitary(circuit), np.exp(0.4j) * np.eye(2))
+
+    def test_barrier_is_identity(self):
+        circuit = QuantumCircuit(2)
+        circuit.barrier()
+        assert np.allclose(circuit_unitary(circuit), np.eye(4))
+
+
+class TestComparisons:
+    def test_process_fidelity_of_equal_matrices(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        unitary = circuit_unitary(circuit)
+        assert process_fidelity(unitary, unitary) == pytest.approx(1.0)
+
+    def test_process_fidelity_with_global_phase(self):
+        unitary = circuit_unitary(QuantumCircuit(1))
+        assert process_fidelity(unitary, np.exp(1j) * unitary) == pytest.approx(1.0)
+
+    def test_process_fidelity_detects_difference(self):
+        a = np.eye(2, dtype=complex)
+        b = XGate().matrix
+        assert process_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_matrices_equal_up_to_global_phase(self):
+        unitary = circuit_unitary(QuantumCircuit(1))
+        assert matrices_equal_up_to_global_phase(unitary, -unitary)
+        assert not matrices_equal_up_to_global_phase(unitary, XGate().matrix)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            process_fidelity(np.eye(2), np.eye(4))

@@ -1,0 +1,89 @@
+"""Tests for the bitstring helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bits_to_int,
+    bitstring_to_int,
+    format_bitstring,
+    int_to_bits,
+    int_to_bitstring,
+)
+
+
+class TestIntToBits:
+    def test_basic(self):
+        assert int_to_bits(6, 4) == [0, 1, 1, 0]
+
+    def test_zero(self):
+        assert int_to_bits(0, 3) == [0, 0, 0]
+
+    def test_width_zero(self):
+        assert int_to_bits(0, 0) == []
+
+    def test_truncates_to_width(self):
+        assert int_to_bits(0b1111, 2) == [1, 1]
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_negative_width_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(1, -1)
+
+
+class TestBitsToInt:
+    def test_basic(self):
+        assert bits_to_int([0, 1, 1, 0]) == 6
+
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+    def test_invalid_bit_raises(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2])
+
+
+class TestBitstrings:
+    def test_int_to_bitstring(self):
+        assert int_to_bitstring(6, 4) == "0110"
+
+    def test_int_to_bitstring_empty(self):
+        assert int_to_bitstring(0, 0) == ""
+
+    def test_bitstring_to_int(self):
+        assert bitstring_to_int("0110") == 6
+
+    def test_bitstring_to_int_empty(self):
+        assert bitstring_to_int("") == 0
+
+    def test_bitstring_to_int_invalid(self):
+        with pytest.raises(ValueError):
+            bitstring_to_int("01a")
+
+    def test_int_to_bitstring_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bitstring(-2, 4)
+
+    def test_format_bitstring(self):
+        assert format_bitstring([1, 0, 0]) == "001"
+
+    def test_format_bitstring_empty(self):
+        assert format_bitstring([]) == ""
+
+
+class TestRoundTrips:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_int_bits_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_int_bitstring_roundtrip(self, value):
+        assert bitstring_to_int(int_to_bitstring(value, 16)) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=20))
+    def test_format_matches_int_conversion(self, bits):
+        assert format_bitstring(bits) == int_to_bitstring(bits_to_int(bits), len(bits))
