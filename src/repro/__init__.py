@@ -32,27 +32,35 @@ from repro.circuit import (
     circuit_to_qasm,
 )
 from repro.core import (
+    BatchResult,
     Configuration,
     EquivalenceCheckResult,
     EquivalenceChecker,
+    EquivalenceCheckingManager,
     EquivalenceCriterion,
+    PortfolioResult,
     check_behavioural_equivalence,
     check_equivalence,
     extract_distribution,
     to_unitary_circuit,
     verify,
+    verify_batch,
+    verify_portfolio,
 )
 from repro.simulators import DDSimulator, Statevector, StatevectorSimulator
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "ClassicalRegister",
     "Configuration",
     "DDSimulator",
     "EquivalenceCheckResult",
     "EquivalenceChecker",
+    "EquivalenceCheckingManager",
     "EquivalenceCriterion",
+    "PortfolioResult",
     "QuantumCircuit",
     "QuantumRegister",
     "Statevector",
@@ -65,4 +73,6 @@ __all__ = [
     "extract_distribution",
     "to_unitary_circuit",
     "verify",
+    "verify_batch",
+    "verify_portfolio",
 ]

@@ -7,11 +7,18 @@ outcome distribution of a single (dynamic) circuit.
 Usage (after ``pip install -e .``)::
 
     repro-qcec verify static.qasm dynamic.qasm --method alternating --strategy proportional
+    repro-qcec verify static.qasm dynamic.qasm --portfolio simulation,alternating
+    repro-qcec batch manifest.txt --max-workers 8 --json
     repro-qcec verify-behaviour static.qasm dynamic.qasm
     repro-qcec extract dynamic.qasm --backend dd
     repro-qcec show circuit.qasm
 
 or equivalently ``python -m repro.cli ...``.
+
+The ``batch`` manifest is a text file with one circuit pair per line (two
+whitespace-separated QASM paths, relative paths resolved against the manifest's
+directory; blank lines and ``#`` comments are ignored), or a JSON array of
+``[first, second]`` pairs.
 """
 
 from __future__ import annotations
@@ -23,7 +30,11 @@ from pathlib import Path
 
 from repro.circuit import QuantumCircuit, circuit_from_qasm
 from repro.core import (
+    BatchEntry,
+    BatchResult,
     Configuration,
+    EquivalenceCheckingManager,
+    EquivalenceCriterion,
     check_behavioural_equivalence,
     check_equivalence,
     extract_distribution,
@@ -59,7 +70,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--backend", default="dd", choices=["dd", "dense"])
     verify.add_argument("--tolerance", type=float, default=1e-7)
+    verify.add_argument(
+        "--portfolio",
+        default=None,
+        metavar="CHECKERS",
+        help=(
+            "run a comma-separated portfolio of checkers with early termination "
+            "instead of a single --method (e.g. 'simulation,alternating')"
+        ),
+    )
+    verify.add_argument(
+        "--timeout", type=float, default=None, help="overall portfolio budget in seconds"
+    )
+    verify.add_argument(
+        "--checker-timeout", type=float, default=None, help="per-checker budget in seconds"
+    )
     verify.add_argument("--json", action="store_true", help="print the result as JSON")
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="verify many circuit pairs concurrently from a manifest file",
+    )
+    batch.add_argument(
+        "manifest",
+        help="text file with 'first.qasm second.qasm' per line, or a JSON array of pairs",
+    )
+    batch.add_argument(
+        "--portfolio",
+        default=None,
+        metavar="CHECKERS",
+        help="comma-separated checkers (default: simulation,alternating)",
+    )
+    batch.add_argument(
+        "--strategy", default="proportional", choices=["naive", "one_to_one", "proportional", "lookahead"]
+    )
+    batch.add_argument("--backend", default="dd", choices=["dd", "dense"])
+    batch.add_argument("--tolerance", type=float, default=1e-7)
+    batch.add_argument("--max-workers", type=int, default=4)
+    batch.add_argument("--timeout", type=float, default=None, help="overall budget per pair in seconds")
+    batch.add_argument(
+        "--checker-timeout", type=float, default=None, help="per-checker budget in seconds"
+    )
+    batch.add_argument("--json", action="store_true")
 
     behaviour = subparsers.add_parser(
         "verify-behaviour",
@@ -84,6 +136,66 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_portfolio(text: str | None) -> tuple[str, ...] | None:
+    if text is None:
+        return None
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _load_manifest(path: str) -> list[tuple[Path, Path]]:
+    """Read a batch manifest: whitespace-separated pairs or a JSON array."""
+    manifest = Path(path)
+    text = manifest.read_text(encoding="utf-8")
+    base = manifest.parent
+    pairs: list[tuple[Path, Path]] = []
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        try:
+            entries = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"manifest {path!r} is not valid JSON: {error}") from error
+        for entry in entries:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ReproError(f"manifest entries must be [first, second] pairs, got {entry!r}")
+            pairs.append((base / str(entry[0]), base / str(entry[1])))
+    else:
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ReproError(
+                    f"manifest line {lineno} must name exactly two QASM files, got {line!r}"
+                )
+            pairs.append((base / parts[0], base / parts[1]))
+    if not pairs:
+        raise ReproError(f"manifest {path!r} names no circuit pairs")
+    return pairs
+
+
+def _portfolio_payload(name_first: str, name_second: str, result) -> dict:
+    return {
+        "first": name_first,
+        "second": name_second,
+        "criterion": result.criterion.value,
+        "equivalent": result.equivalent,
+        "decided_by": result.decided_by,
+        "reason": result.reason,
+        "attempts": [
+            {
+                "method": attempt.method,
+                "status": attempt.status,
+                "criterion": attempt.result.criterion.value if attempt.result else None,
+                "time": attempt.time_taken,
+                "error": attempt.error,
+            }
+            for attempt in result.attempts
+        ],
+        "total_time": result.total_time,
+    }
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     first = _load_circuit(args.first)
     second = _load_circuit(args.second)
@@ -92,7 +204,17 @@ def _command_verify(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         backend=args.backend,
         tolerance=args.tolerance,
+        portfolio=_parse_portfolio(args.portfolio),
+        timeout=args.timeout,
+        checker_timeout=args.checker_timeout,
     )
+    if args.portfolio is not None:
+        return _verify_with_portfolio(first, second, configuration, args)
+    if args.timeout is not None or args.checker_timeout is not None:
+        # Timeouts are enforced by the manager; run the single method as a
+        # one-checker portfolio so the budget actually applies.
+        configuration = configuration.updated(portfolio=(args.method,))
+        return _verify_with_portfolio(first, second, configuration, args)
     result = check_equivalence(first, second, configuration)
     if args.json:
         print(
@@ -115,6 +237,105 @@ def _command_verify(args: argparse.Namespace) -> int:
             f"t_trans={result.time_transformation:.6f}s t_ver={result.time_check:.6f}s"
         )
     return 0 if result.equivalent else 1
+
+
+def _verify_with_portfolio(first, second, configuration: Configuration, args) -> int:
+    manager = EquivalenceCheckingManager(configuration)
+    result = manager.run(first, second)
+    if args.json:
+        print(json.dumps(_portfolio_payload(first.name, second.name, result)))
+    else:
+        print(f"{first.name} vs {second.name}: {result.criterion.value}")
+        print(f"  portfolio={','.join(manager.portfolio)} decided_by={result.decided_by}")
+        print(f"  {result.reason}")
+        for attempt in result.attempts:
+            verdict = attempt.result.criterion.value if attempt.result else "-"
+            print(
+                f"  [{attempt.status}] {attempt.method}: {verdict} "
+                f"t={attempt.time_taken:.6f}s"
+            )
+    if result.criterion is EquivalenceCriterion.NO_INFORMATION:
+        # No checker produced a verdict (errors/timeouts) — that is a failed
+        # check, not a non-equivalence finding.
+        print(f"error: {result.reason}", file=sys.stderr)
+        return 2
+    return 0 if result.equivalent else 1
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    pairs_paths = _load_manifest(args.manifest)
+    # Load per pair so that one unreadable/malformed QASM file is recorded as
+    # a failed entry instead of aborting the whole batch.
+    circuits: list[tuple[QuantumCircuit, QuantumCircuit]] = []
+    load_failures: dict[int, BatchEntry] = {}
+    for index, (first_path, second_path) in enumerate(pairs_paths):
+        try:
+            circuits.append((_load_circuit(str(first_path)), _load_circuit(str(second_path))))
+        except (ReproError, OSError) as error:
+            load_failures[index] = BatchEntry(
+                index=index,
+                name_first=first_path.stem,
+                name_second=second_path.stem,
+                error=f"{type(error).__name__}: {error}",
+            )
+    configuration = Configuration(
+        strategy=args.strategy,
+        backend=args.backend,
+        tolerance=args.tolerance,
+        portfolio=_parse_portfolio(args.portfolio),
+        timeout=args.timeout,
+        checker_timeout=args.checker_timeout,
+        max_workers=args.max_workers,
+    )
+    manager = EquivalenceCheckingManager(configuration)
+    batch = manager.verify_batch(circuits)
+    if load_failures:
+        merged: list[BatchEntry] = []
+        verified = iter(batch.entries)
+        for index in range(len(pairs_paths)):
+            if index in load_failures:
+                merged.append(load_failures[index])
+            else:
+                entry = next(verified)
+                entry.index = index
+                merged.append(entry)
+        batch = BatchResult(
+            entries=merged, total_time=batch.total_time, max_workers=batch.max_workers
+        )
+    if args.json:
+        payload = batch.summary()
+        payload["entries"] = [
+            {
+                "index": entry.index,
+                "first": entry.name_first,
+                "second": entry.name_second,
+                "criterion": entry.result.criterion.value if entry.result else None,
+                "equivalent": entry.equivalent,
+                "decided_by": entry.result.decided_by if entry.result else None,
+                "error": entry.error,
+                "time": entry.time_taken,
+            }
+            for entry in batch.entries
+        ]
+        print(json.dumps(payload))
+    else:
+        for entry in batch.entries:
+            if entry.result is not None:
+                verdict = entry.result.criterion.value
+                extra = f"decided_by={entry.result.decided_by}"
+            else:
+                verdict = "failed"
+                extra = entry.error or ""
+            print(
+                f"[{entry.index}] {entry.name_first} vs {entry.name_second}: "
+                f"{verdict} t={entry.time_taken:.6f}s {extra}".rstrip()
+            )
+        print(
+            f"batch: {batch.num_equivalent}/{batch.num_pairs} equivalent, "
+            f"{batch.num_failed} failed, t={batch.total_time:.6f}s "
+            f"(workers={batch.max_workers})"
+        )
+    return 0 if batch.all_equivalent else 1
 
 
 def _command_verify_behaviour(args: argparse.Namespace) -> int:
@@ -173,6 +394,7 @@ def _command_show(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "verify": _command_verify,
+    "batch": _command_batch,
     "verify-behaviour": _command_verify_behaviour,
     "extract": _command_extract,
     "show": _command_show,

@@ -26,7 +26,20 @@ from repro.core.equivalence import (
     verify,
 )
 from repro.core.extraction import ExtractionResult, extract_distribution
-from repro.core.results import EquivalenceCheckResult, EquivalenceCriterion
+from repro.core.manager import (
+    DEFAULT_PORTFOLIO,
+    EquivalenceCheckingManager,
+    verify_batch,
+    verify_portfolio,
+)
+from repro.core.results import (
+    BatchEntry,
+    BatchResult,
+    CheckerAttempt,
+    EquivalenceCheckResult,
+    EquivalenceCriterion,
+    PortfolioResult,
+)
 from repro.core.simulative import run_simulative_check
 from repro.core.strategies import alternating_schedule
 from repro.core.transformation import (
@@ -38,11 +51,17 @@ from repro.core.transformation import (
 )
 
 __all__ = [
+    "BatchEntry",
+    "BatchResult",
+    "CheckerAttempt",
     "Configuration",
+    "DEFAULT_PORTFOLIO",
     "EquivalenceCheckResult",
     "EquivalenceChecker",
+    "EquivalenceCheckingManager",
     "EquivalenceCriterion",
     "ExtractionResult",
+    "PortfolioResult",
     "TransformationResult",
     "alternating_schedule",
     "check_behavioural_equivalence",
@@ -61,4 +80,6 @@ __all__ = [
     "to_unitary_circuit",
     "total_variation_distance",
     "verify",
+    "verify_batch",
+    "verify_portfolio",
 ]

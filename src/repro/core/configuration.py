@@ -44,6 +44,24 @@ class Configuration:
         single-qubit product states).
     seed:
         Seed for the random stimuli.
+    gate_cache:
+        Whether the decision-diagram backend memoizes per-gate DDs (see
+        :meth:`repro.dd.package.DDPackage.gate_cache_lookup`).  On by default;
+        switching it off is mainly useful for benchmarking the cache itself.
+    portfolio:
+        Checker methods run by the
+        :class:`~repro.core.manager.EquivalenceCheckingManager` (a subset of
+        the ``method`` choices).  ``None`` selects the default portfolio
+        (simulation as a fast falsifier, then the alternating scheme).
+    timeout:
+        Overall wall-clock budget (seconds) of one portfolio run; ``None``
+        disables the limit.
+    checker_timeout:
+        Wall-clock budget (seconds) of each individual checker within a
+        portfolio run; ``None`` disables the limit.
+    max_workers:
+        Number of worker threads used by
+        :meth:`~repro.core.manager.EquivalenceCheckingManager.verify_batch`.
     """
 
     method: str = "alternating"
@@ -54,6 +72,11 @@ class Configuration:
     num_simulations: int = 16
     stimuli_type: str = "product"
     seed: int | None = None
+    gate_cache: bool = True
+    portfolio: tuple[str, ...] | None = None
+    timeout: float | None = None
+    checker_timeout: float | None = None
+    max_workers: int = 4
 
     def __post_init__(self) -> None:
         if self.method not in _METHODS:
@@ -76,6 +99,24 @@ class Configuration:
             raise EquivalenceCheckingError("tolerance must be positive")
         if self.num_simulations < 1:
             raise EquivalenceCheckingError("num_simulations must be at least 1")
+        if self.portfolio is not None:
+            portfolio = tuple(self.portfolio)
+            if not portfolio:
+                raise EquivalenceCheckingError("portfolio must name at least one checker")
+            for method in portfolio:
+                if method not in _METHODS:
+                    raise EquivalenceCheckingError(
+                        f"unknown portfolio checker {method!r}; choose from {_METHODS}"
+                    )
+            if len(set(portfolio)) != len(portfolio):
+                raise EquivalenceCheckingError(f"duplicate checkers in portfolio {portfolio}")
+            object.__setattr__(self, "portfolio", portfolio)
+        for name in ("timeout", "checker_timeout"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise EquivalenceCheckingError(f"{name} must be positive (or None)")
+        if self.max_workers < 1:
+            raise EquivalenceCheckingError("max_workers must be at least 1")
 
     def updated(self, **overrides) -> "Configuration":
         """Return a copy with the given fields replaced."""

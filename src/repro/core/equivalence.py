@@ -147,7 +147,7 @@ class EquivalenceChecker:
     def _alternating_dd(self, first: QuantumCircuit, second: QuantumCircuit):
         config = self.configuration
         num_qubits = first.num_qubits
-        package = DDPackage(num_qubits)
+        package = DDPackage(num_qubits, gate_cache=config.gate_cache)
         left, right = self._gate_lists(first, second)
         product = package.identity()
         max_nodes = package.count_nodes(product)
@@ -231,7 +231,7 @@ class EquivalenceChecker:
     def _construction(self, first: QuantumCircuit, second: QuantumCircuit):
         config = self.configuration
         if config.backend == "dd":
-            package = DDPackage(first.num_qubits)
+            package = DDPackage(first.num_qubits, gate_cache=config.gate_cache)
             from repro.dd.circuits import circuit_to_unitary_dd
 
             unitary_first = circuit_to_unitary_dd(package, first)
@@ -244,6 +244,7 @@ class EquivalenceChecker:
                 "nodes_first": package.count_nodes(unitary_first),
                 "nodes_second": package.count_nodes(unitary_second_inverse),
                 "final_nodes": package.count_nodes(product),
+                "dd_statistics": package.statistics(),
             }
             return self._criterion_from_scalar(scalar, config.tolerance), details
 
@@ -271,6 +272,7 @@ class EquivalenceChecker:
             stimuli_type=config.stimuli_type,
             tolerance=config.tolerance,
             seed=config.seed,
+            gate_cache=config.gate_cache,
         )
         criterion = (
             EquivalenceCriterion.PROBABLY_EQUIVALENT

@@ -1,0 +1,318 @@
+"""Portfolio equivalence-checking manager.
+
+Single-method runs (:func:`~repro.core.equivalence.check_equivalence`) make
+the caller commit to one checker up front.  Real equivalence-checking tools
+such as QCEC instead run a *portfolio* of complementary checkers and stop as
+soon as any of them is definitive:
+
+* ``simulation`` is a fast *falsifier* — a single mismatching stimulus proves
+  non-equivalence, usually long before a functional check would finish, but a
+  pass only yields ``PROBABLY_EQUIVALENT``;
+* ``alternating`` (and ``construction``) are *provers* — they decide
+  equivalence definitively, at higher cost.
+
+:class:`EquivalenceCheckingManager` runs the configured portfolio in order
+with per-checker and overall wall-clock budgets, terminates early on the
+first definitive verdict, and records which checker decided and why in a
+:class:`~repro.core.results.PortfolioResult`.  For scale,
+:meth:`EquivalenceCheckingManager.verify_batch` verifies many circuit pairs
+concurrently on a thread pool, isolating per-pair failures and aggregating
+statistics in a :class:`~repro.core.results.BatchResult`.
+
+Example
+-------
+>>> from repro.circuit import QuantumCircuit
+>>> from repro.core.manager import EquivalenceCheckingManager
+>>> a = QuantumCircuit(2); _ = a.h(0); _ = a.cx(0, 1)
+>>> b = QuantumCircuit(2); _ = b.h(0); _ = b.cx(0, 1)
+>>> manager = EquivalenceCheckingManager(seed=1)
+>>> manager.run(a, b).equivalent
+True
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from collections.abc import Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.configuration import Configuration
+from repro.core.equivalence import EquivalenceChecker
+from repro.core.results import (
+    BatchEntry,
+    BatchResult,
+    CheckerAttempt,
+    EquivalenceCriterion,
+    PortfolioResult,
+)
+from repro.core.transformation import to_unitary_circuit
+
+__all__ = [
+    "DEFAULT_PORTFOLIO",
+    "EquivalenceCheckingManager",
+    "verify_batch",
+    "verify_portfolio",
+]
+
+#: Default checker line-up: falsify fast, then prove.
+DEFAULT_PORTFOLIO: tuple[str, ...] = ("simulation", "alternating")
+
+#: Criteria that terminate the portfolio regardless of which checker produced
+#: them.  ``PROBABLY_EQUIVALENT`` (a passing simulation) is *not* definitive —
+#: a later functional checker may still prove or refute equivalence.
+_DEFINITIVE = (
+    EquivalenceCriterion.EQUIVALENT,
+    EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE,
+    EquivalenceCriterion.NOT_EQUIVALENT,
+)
+
+
+class EquivalenceCheckingManager:
+    """Run a portfolio of equivalence checkers with early termination.
+
+    Configuration knobs (see :class:`~repro.core.configuration.Configuration`):
+    ``portfolio`` selects and orders the checkers (default
+    :data:`DEFAULT_PORTFOLIO`), ``checker_timeout`` bounds each checker,
+    ``timeout`` bounds the whole run, and ``max_workers`` sizes the thread
+    pool of :meth:`verify_batch`.
+    """
+
+    def __init__(self, configuration: Configuration | None = None, **overrides):
+        configuration = configuration or Configuration()
+        if overrides:
+            configuration = configuration.updated(**overrides)
+        self.configuration = configuration
+
+    @property
+    def portfolio(self) -> tuple[str, ...]:
+        """The checkers this manager runs, in order."""
+        return self.configuration.portfolio or DEFAULT_PORTFOLIO
+
+    # ------------------------------------------------------------------
+    # single pair
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        first: QuantumCircuit,
+        second: QuantumCircuit,
+        *,
+        qubit_permutation: dict[int, int] | None = None,
+    ) -> PortfolioResult:
+        """Check one circuit pair with the configured portfolio.
+
+        Checkers run in portfolio order; the first definitive verdict
+        (``EQUIVALENT``, ``EQUIVALENT_UP_TO_GLOBAL_PHASE`` or
+        ``NOT_EQUIVALENT``) terminates the run and the remaining checkers are
+        skipped.  A checker that raises or exceeds its time budget is recorded
+        and the next checker gets its turn.  When no checker is definitive the
+        final criterion falls back to the best indicative one
+        (``PROBABLY_EQUIVALENT`` from a passing simulation) or
+        ``NO_INFORMATION``.
+        """
+        config = self.configuration
+        start = time.perf_counter()
+        deadline = None if config.timeout is None else start + config.timeout
+        attempts: list[CheckerAttempt] = []
+        indicative: EquivalenceCriterion | None = None
+        indicative_method: str | None = None
+
+        # Transform dynamic circuits to unitary ones once (Scheme 1) and share
+        # the result across all checkers instead of re-transforming per method.
+        # On failure fall back to the originals so the error surfaces per
+        # checker attempt, as it would without the shared transformation.
+        if config.transform_dynamic:
+            try:
+                if first.is_dynamic:
+                    first = to_unitary_circuit(first).circuit
+                if second.is_dynamic:
+                    second = to_unitary_circuit(second).circuit
+            except Exception:  # noqa: BLE001 - checkers report it per attempt
+                pass
+
+        portfolio = list(self.portfolio)
+        for position, method in enumerate(portfolio):
+            budget = config.checker_timeout
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    attempts.extend(
+                        CheckerAttempt(method=m, status="skipped")
+                        for m in portfolio[position:]
+                    )
+                    return PortfolioResult(
+                        criterion=indicative or EquivalenceCriterion.NO_INFORMATION,
+                        decided_by=None,
+                        reason=f"overall timeout of {config.timeout}s exhausted",
+                        attempts=attempts,
+                        total_time=time.perf_counter() - start,
+                    )
+                budget = remaining if budget is None else min(budget, remaining)
+
+            attempt = self._run_checker(method, first, second, qubit_permutation, budget)
+            attempts.append(attempt)
+
+            if attempt.result is not None:
+                criterion = attempt.result.criterion
+                if criterion in _DEFINITIVE:
+                    attempts.extend(
+                        CheckerAttempt(method=m, status="skipped")
+                        for m in portfolio[position + 1 :]
+                    )
+                    return PortfolioResult(
+                        criterion=criterion,
+                        decided_by=method,
+                        reason=(
+                            f"{method} returned {criterion.value} "
+                            f"after {attempt.time_taken:.6f}s"
+                        ),
+                        attempts=attempts,
+                        total_time=time.perf_counter() - start,
+                    )
+                if indicative is None:
+                    indicative = criterion
+                    indicative_method = method
+
+        if indicative is not None:
+            reason = (
+                f"no checker was definitive; best indicative verdict "
+                f"{indicative.value} from {indicative_method}"
+            )
+        else:
+            reason = "no checker produced a verdict"
+        return PortfolioResult(
+            criterion=indicative or EquivalenceCriterion.NO_INFORMATION,
+            decided_by=None,
+            reason=reason,
+            attempts=attempts,
+            total_time=time.perf_counter() - start,
+        )
+
+    def _run_checker(
+        self,
+        method: str,
+        first: QuantumCircuit,
+        second: QuantumCircuit,
+        qubit_permutation: dict[int, int] | None,
+        budget: float | None,
+    ) -> CheckerAttempt:
+        """Run one checker, bounded by ``budget`` seconds (None = unbounded)."""
+        checker = EquivalenceChecker(self.configuration.updated(method=method))
+        started = time.perf_counter()
+
+        def task():
+            return checker.run(first, second, qubit_permutation=qubit_permutation)
+
+        try:
+            if budget is None:
+                result = task()
+            else:
+                # Python threads cannot be killed; on timeout the worker is
+                # abandoned (it finishes in the background) and the portfolio
+                # moves on.  A daemon thread is used rather than an executor so
+                # that an abandoned checker never blocks interpreter exit.
+                outcome: dict = {}
+
+                def worker():
+                    try:
+                        outcome["result"] = task()
+                    except Exception as error:  # noqa: BLE001 - re-raised below
+                        outcome["error"] = error
+
+                thread = threading.Thread(
+                    target=worker, name=f"checker-{method}", daemon=True
+                )
+                thread.start()
+                thread.join(timeout=budget)
+                if thread.is_alive():
+                    return CheckerAttempt(
+                        method=method,
+                        status="timeout",
+                        error=f"checker exceeded its budget of {budget:.6f}s",
+                        time_taken=time.perf_counter() - started,
+                    )
+                if "error" in outcome:
+                    raise outcome["error"]
+                result = outcome["result"]
+            return CheckerAttempt(
+                method=method,
+                status="completed",
+                result=result,
+                time_taken=time.perf_counter() - started,
+            )
+        except Exception as error:  # noqa: BLE001 - isolate checker failures
+            return CheckerAttempt(
+                method=method,
+                status="error",
+                error=f"{type(error).__name__}: {error}",
+                time_taken=time.perf_counter() - started,
+            )
+
+    # ------------------------------------------------------------------
+    # batch verification
+    # ------------------------------------------------------------------
+
+    def verify_batch(
+        self,
+        pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]],
+    ) -> BatchResult:
+        """Verify many circuit pairs concurrently.
+
+        Each pair gets a full portfolio run on a thread pool of
+        ``configuration.max_workers`` workers.  Entries come back in input
+        order; a pair that raises is recorded as failed without affecting the
+        other pairs.
+        """
+        start = time.perf_counter()
+        entries: list[BatchEntry] = []
+        max_workers = self.configuration.max_workers
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="verify-batch"
+        ) as executor:
+            futures = [
+                executor.submit(self._batch_entry, index, first, second)
+                for index, (first, second) in enumerate(pairs)
+            ]
+            entries = [future.result() for future in futures]
+        return BatchResult(
+            entries=entries,
+            total_time=time.perf_counter() - start,
+            max_workers=max_workers,
+        )
+
+    def _batch_entry(
+        self, index: int, first: QuantumCircuit, second: QuantumCircuit
+    ) -> BatchEntry:
+        started = time.perf_counter()
+        entry = BatchEntry(
+            index=index,
+            name_first=getattr(first, "name", None) or f"first[{index}]",
+            name_second=getattr(second, "name", None) or f"second[{index}]",
+        )
+        try:
+            entry.result = self.run(first, second)
+        except Exception as error:  # noqa: BLE001 - isolate per-pair failures
+            entry.error = f"{type(error).__name__}: {error}"
+        entry.time_taken = time.perf_counter() - started
+        return entry
+
+
+def verify_portfolio(
+    first: QuantumCircuit,
+    second: QuantumCircuit,
+    configuration: Configuration | None = None,
+    **overrides,
+) -> PortfolioResult:
+    """Check one pair with a checker portfolio (convenience wrapper)."""
+    return EquivalenceCheckingManager(configuration, **overrides).run(first, second)
+
+
+def verify_batch(
+    pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]],
+    configuration: Configuration | None = None,
+    **overrides,
+) -> BatchResult:
+    """Verify many circuit pairs concurrently (convenience wrapper)."""
+    return EquivalenceCheckingManager(configuration, **overrides).verify_batch(pairs)

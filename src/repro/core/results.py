@@ -1,11 +1,30 @@
-"""Result types of the equivalence-checking flows."""
+"""Result types of the equivalence-checking flows.
+
+Besides the single-check :class:`EquivalenceCheckResult`, this module defines
+the bookkeeping of the portfolio manager
+(:class:`~repro.core.manager.EquivalenceCheckingManager`):
+
+* :class:`CheckerAttempt` — one checker's run within a portfolio (completed,
+  timed out, errored, or skipped after early termination),
+* :class:`PortfolioResult` — the combined verdict, recording which checker
+  decided and why,
+* :class:`BatchEntry` / :class:`BatchResult` — per-pair outcomes and aggregate
+  statistics of a concurrent ``verify_batch`` run.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
 
-__all__ = ["EquivalenceCheckResult", "EquivalenceCriterion"]
+__all__ = [
+    "BatchEntry",
+    "BatchResult",
+    "CheckerAttempt",
+    "EquivalenceCheckResult",
+    "EquivalenceCriterion",
+    "PortfolioResult",
+]
 
 
 class EquivalenceCriterion(Enum):
@@ -88,3 +107,161 @@ class EquivalenceCheckResult:
         pieces.append(f"t_trans={self.time_transformation:.6f}s")
         pieces.append(f"t_check={self.time_check:.6f}s")
         return "EquivalenceCheckResult(" + ", ".join(pieces) + ")"
+
+
+@dataclass
+class CheckerAttempt:
+    """One checker's run within a portfolio.
+
+    Attributes
+    ----------
+    method:
+        The checker that ran (``simulation``, ``alternating``, ``construction``).
+    status:
+        ``completed``, ``timeout``, ``error`` or ``skipped`` (a later checker
+        that never ran because an earlier one terminated the portfolio).
+    result:
+        The checker's :class:`EquivalenceCheckResult` when it completed.
+    error:
+        Error message for ``status == "error"``.
+    time_taken:
+        Wall-clock seconds this attempt consumed (0 for skipped checkers).
+    """
+
+    method: str
+    status: str = "completed"
+    result: EquivalenceCheckResult | None = None
+    error: str | None = None
+    time_taken: float = 0.0
+
+
+@dataclass
+class PortfolioResult:
+    """Combined verdict of a portfolio run.
+
+    Attributes
+    ----------
+    criterion:
+        The final verdict (the decider's criterion; ``NO_INFORMATION`` when no
+        checker produced one).
+    decided_by:
+        Method of the checker whose verdict terminated the portfolio, or
+        ``None`` if no checker was definitive.
+    reason:
+        Human-readable explanation of how the verdict came about.
+    attempts:
+        Per-checker bookkeeping in portfolio order.
+    total_time:
+        Wall-clock seconds of the whole portfolio run.
+    """
+
+    criterion: EquivalenceCriterion
+    decided_by: str | None
+    reason: str
+    attempts: list[CheckerAttempt] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def equivalent(self) -> bool:
+        """Whether the circuits were found equivalent (possibly up to phase)."""
+        return self.criterion.considered_equivalent
+
+    @property
+    def result(self) -> EquivalenceCheckResult | None:
+        """The deciding checker's detailed result (if any checker decided)."""
+        for attempt in self.attempts:
+            if attempt.method == self.decided_by and attempt.result is not None:
+                return attempt.result
+        return None
+
+    def __str__(self) -> str:
+        return (
+            f"PortfolioResult({self.criterion.value}, decided_by={self.decided_by}, "
+            f"t={self.total_time:.6f}s)"
+        )
+
+
+@dataclass
+class BatchEntry:
+    """Outcome of one circuit pair within a batch verification run.
+
+    ``result`` is ``None`` when the pair failed outright (see ``error``); a
+    failure of one pair never affects the other pairs of the batch.
+    """
+
+    index: int
+    name_first: str
+    name_second: str
+    result: PortfolioResult | None = None
+    error: str | None = None
+    time_taken: float = 0.0
+
+    @property
+    def equivalent(self) -> bool:
+        """Whether this pair was verified equivalent (False for failed pairs)."""
+        return self.result is not None and self.result.equivalent
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of :meth:`EquivalenceCheckingManager.verify_batch`.
+
+    Entries are in the same order as the input pairs.
+    """
+
+    entries: list[BatchEntry] = field(default_factory=list)
+    total_time: float = 0.0
+    max_workers: int = 1
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_equivalent(self) -> int:
+        return sum(1 for entry in self.entries if entry.equivalent)
+
+    @property
+    def num_not_equivalent(self) -> int:
+        """Pairs definitively refuted (undecided pairs count as failed instead)."""
+        return sum(
+            1
+            for entry in self.entries
+            if entry.result is not None
+            and entry.result.criterion is EquivalenceCriterion.NOT_EQUIVALENT
+        )
+
+    @property
+    def num_failed(self) -> int:
+        """Pairs that raised, or finished without any verdict (timeout/errors)."""
+        return sum(
+            1
+            for entry in self.entries
+            if entry.result is None
+            or entry.result.criterion is EquivalenceCriterion.NO_INFORMATION
+        )
+
+    @property
+    def all_equivalent(self) -> bool:
+        return self.num_equivalent == self.num_pairs
+
+    def summary(self) -> dict:
+        """Aggregate statistics (JSON-friendly)."""
+        times = [entry.time_taken for entry in self.entries]
+        return {
+            "num_pairs": self.num_pairs,
+            "num_equivalent": self.num_equivalent,
+            "num_not_equivalent": self.num_not_equivalent,
+            "num_failed": self.num_failed,
+            "total_time": self.total_time,
+            "max_workers": self.max_workers,
+            "max_pair_time": max(times, default=0.0),
+            "mean_pair_time": (sum(times) / len(times)) if times else 0.0,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"BatchResult({self.num_equivalent}/{self.num_pairs} equivalent, "
+            f"{self.num_failed} failed, t={self.total_time:.6f}s, "
+            f"workers={self.max_workers})"
+        )

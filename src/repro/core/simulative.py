@@ -16,6 +16,7 @@ import random
 import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.dd.package import DDPackage
 from repro.exceptions import EquivalenceCheckingError
 from repro.simulators.dd_simulator import DDSimulator, DDState
 from repro.simulators.statevector import Statevector, StatevectorSimulator
@@ -45,6 +46,7 @@ def run_simulative_check(
     stimuli_type: str = "product",
     tolerance: float = 1e-7,
     seed: int | None = None,
+    gate_cache: bool = True,
 ) -> tuple[bool, dict]:
     """Compare two unitary circuits on random stimuli.
 
@@ -64,6 +66,9 @@ def run_simulative_check(
     num_qubits = first.num_qubits
     min_fidelity = 1.0
     details: dict = {"num_simulations": num_simulations, "stimuli_type": stimuli_type}
+    # One shared package across all stimuli: the circuits' gate DDs are built
+    # once and then served from the gate cache on every subsequent run.
+    package = DDPackage(num_qubits, gate_cache=gate_cache) if backend == "dd" else None
 
     for run in range(num_simulations):
         if stimuli_type == "basis":
@@ -80,7 +85,7 @@ def run_simulative_check(
             raise EquivalenceCheckingError(f"unknown stimuli type {stimuli_type!r}")
 
         if backend == "dd":
-            state_one = DDSimulator().run(circuit_one, initial)
+            state_one = DDSimulator().run(circuit_one, initial, package=package)
             # Share the package so that fidelities can be computed directly.
             state_two = DDSimulator().run(circuit_two, _rebuild_in_package(state_one, initial, num_qubits), package=state_one.package)
             fidelity = state_one.fidelity(state_two)

@@ -64,14 +64,27 @@ def gate_to_dd(package: DDPackage, gate: Gate, qubits: Sequence[int]) -> MEdge:
 
 
 def instruction_to_dd(package: DDPackage, instruction: Instruction) -> MEdge:
-    """Build the matrix DD of a unitary, unconditioned instruction."""
+    """Build the matrix DD of a unitary, unconditioned instruction.
+
+    Results are memoized per package (keyed by the gate — name, parameters,
+    control state — and the qubits it acts on), so circuits that repeat gates,
+    e.g. the controlled-power ladders of QPE or the CNOT cascades of BV, build
+    each distinct gate DD only once.  DD edges are immutable and hash-consed
+    within their package, so sharing the cached edge is safe.
+    """
     if not instruction.is_gate or instruction.condition is not None:
         raise DDError(
             f"only unitary, unconditioned instructions have a matrix DD, got {instruction!r}"
         )
     gate = instruction.operation
     assert isinstance(gate, Gate)
-    return gate_to_dd(package, gate, instruction.qubits)
+    key = (gate, instruction.qubits)
+    cached = package.gate_cache_lookup(key)
+    if cached is not None:
+        return cached
+    result = gate_to_dd(package, gate, instruction.qubits)
+    package.gate_cache_store(key, result)
+    return result
 
 
 def circuit_to_unitary_dd(package: DDPackage, circuit: QuantumCircuit) -> MEdge:

@@ -45,7 +45,12 @@ class DDPackage:
     tables; diagrams from different packages must not be mixed.
     """
 
-    def __init__(self, num_qubits: int, tolerance: float = DEFAULT_TOLERANCE):
+    def __init__(
+        self,
+        num_qubits: int,
+        tolerance: float = DEFAULT_TOLERANCE,
+        gate_cache: bool = True,
+    ):
         if num_qubits < 1:
             raise DDError("a DD package needs at least one qubit")
         self.num_qubits = num_qubits
@@ -59,6 +64,11 @@ class DDPackage:
         self._inner = ComputeTable("inner-product")
         self._norm = ComputeTable("norm-squared")
         self._max_entry = ComputeTable("max-entry")
+        self.gate_cache_enabled = gate_cache
+        self._gate_cache: dict = {}
+        self._gate_cache_hits = 0
+        self._gate_cache_misses = 0
+        self._chain_cache: dict = {}
 
     # ------------------------------------------------------------------
     # terminals and node construction
@@ -164,8 +174,25 @@ class DDPackage:
     def operator_chain(self, operators: Mapping[int, np.ndarray]) -> MEdge:
         """Tensor product of single-qubit operators (identity where omitted).
 
-        ``operators`` maps qubit index to a ``2x2`` matrix.
+        ``operators`` maps qubit index to a ``2x2`` matrix.  Chains are
+        memoized per package (DD edges are immutable, so sharing is safe):
+        every controlled gate rebuilds an identity and projector chains, which
+        makes this the hottest construction path of gate building.
         """
+        key = None
+        if self.gate_cache_enabled:
+            key = tuple(
+                (qubit, matrix.tobytes()) for qubit, matrix in sorted(operators.items())
+            )
+            cached = self._chain_cache.get(key)
+            if cached is not None:
+                return cached
+        edge = self._build_operator_chain(operators)
+        if key is not None:
+            self._chain_cache[key] = edge
+        return edge
+
+    def _build_operator_chain(self, operators: Mapping[int, np.ndarray]) -> MEdge:
         edge = MEdge(None, 1.0)
         for qubit in range(self.num_qubits):
             matrix = operators.get(qubit, _ID2)
@@ -495,6 +522,31 @@ class DDPackage:
         return abs(scalar - 1.0) <= tolerance
 
     # ------------------------------------------------------------------
+    # gate cache
+    # ------------------------------------------------------------------
+
+    def gate_cache_lookup(self, key) -> MEdge | None:
+        """Look up a previously built gate DD (None on miss or disabled cache).
+
+        Keys are hashable gate descriptions — ``(gate, qubits)`` as produced by
+        :func:`repro.dd.circuits.instruction_to_dd`.  Hit/miss counters feed
+        :meth:`statistics`.
+        """
+        if not self.gate_cache_enabled:
+            return None
+        cached = self._gate_cache.get(key)
+        if cached is None:
+            self._gate_cache_misses += 1
+            return None
+        self._gate_cache_hits += 1
+        return cached
+
+    def gate_cache_store(self, key, edge: MEdge) -> None:
+        """Memoize the matrix DD of a gate (no-op when the cache is disabled)."""
+        if self.gate_cache_enabled:
+            self._gate_cache[key] = edge
+
+    # ------------------------------------------------------------------
     # conversion and inspection
     # ------------------------------------------------------------------
 
@@ -557,10 +609,19 @@ class DDPackage:
             "add_matrix_cache": len(self._add_m),
             "multiply_mv_cache": len(self._mult_mv),
             "multiply_mm_cache": len(self._mult_mm),
+            "chain_cache_size": len(self._chain_cache),
+            "gate_cache_size": len(self._gate_cache),
+            "gate_cache_hits": self._gate_cache_hits,
+            "gate_cache_misses": self._gate_cache_misses,
+            "gate_cache_hit_ratio": (
+                self._gate_cache_hits / (self._gate_cache_hits + self._gate_cache_misses)
+                if (self._gate_cache_hits + self._gate_cache_misses)
+                else 0.0
+            ),
         }
 
     def clear_caches(self) -> None:
-        """Drop all compute tables (unique tables are kept)."""
+        """Drop all compute tables and the gate cache (unique tables are kept)."""
         for table in (
             self._add_v,
             self._add_m,
@@ -571,3 +632,5 @@ class DDPackage:
             self._max_entry,
         ):
             table.clear()
+        self._gate_cache.clear()
+        self._chain_cache.clear()

@@ -87,6 +87,89 @@ class TestVerifyCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestPortfolioAndBatch:
+    def test_verify_portfolio_flag(self, qasm_files, capsys):
+        code = main(
+            [
+                "verify",
+                qasm_files["bv_static"],
+                qasm_files["bv_dynamic"],
+                "--portfolio",
+                "simulation,alternating",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "decided_by=alternating" in output
+
+    def test_verify_portfolio_falsifier_short_circuits(self, qasm_files, capsys):
+        code = main(
+            [
+                "verify",
+                qasm_files["bv_static"],
+                qasm_files["bv_wrong"],
+                "--portfolio",
+                "simulation,alternating",
+                "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decided_by"] == "simulation"
+        assert payload["attempts"][1]["status"] == "skipped"
+
+    def test_verify_timeout_without_portfolio_uses_manager(self, qasm_files, capsys):
+        code = main(
+            ["verify", qasm_files["bv_static"], qasm_files["bv_dynamic"], "--timeout", "30"]
+        )
+        assert code == 0
+        assert "portfolio=alternating" in capsys.readouterr().out
+
+    def test_invalid_portfolio_checker_errors(self, qasm_files, capsys):
+        code = main(
+            ["verify", qasm_files["bv_static"], qasm_files["bv_dynamic"], "--portfolio", "magic"]
+        )
+        assert code == 2
+        assert "unknown portfolio checker" in capsys.readouterr().err
+
+    def test_batch_manifest(self, qasm_files, tmp_path, capsys):
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text(
+            f"# demo pairs\n{qasm_files['bv_static']} {qasm_files['bv_dynamic']}\n"
+            f"{qasm_files['bv_static']} {qasm_files['bv_wrong']}\n",
+            encoding="utf-8",
+        )
+        code = main(["batch", str(manifest), "--json"])
+        assert code == 1  # one pair is not equivalent
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_pairs"] == 2
+        assert payload["num_equivalent"] == 1
+        assert [entry["index"] for entry in payload["entries"]] == [0, 1]
+
+    def test_batch_isolates_missing_files(self, qasm_files, tmp_path, capsys):
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text(
+            f"{qasm_files['bv_static']} {qasm_files['bv_dynamic']}\n"
+            f"{qasm_files['bv_static']} {tmp_path / 'missing.qasm'}\n",
+            encoding="utf-8",
+        )
+        code = main(["batch", str(manifest), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_failed"] == 1
+        assert payload["entries"][0]["equivalent"] is True
+        assert "missing" in payload["entries"][1]["second"]
+
+    def test_empty_manifests_error(self, tmp_path, capsys):
+        empty_json = tmp_path / "empty.json"
+        empty_json.write_text("[]", encoding="utf-8")
+        assert main(["batch", str(empty_json)]) == 2
+        empty_text = tmp_path / "empty.txt"
+        empty_text.write_text("# nothing\n", encoding="utf-8")
+        assert main(["batch", str(empty_text)]) == 2
+        assert "names no circuit pairs" in capsys.readouterr().err
+
+
 class TestBehaviourAndExtract:
     def test_verify_behaviour(self, qasm_files, capsys):
         code = main(["verify-behaviour", qasm_files["bv_static"], qasm_files["bv_dynamic"]])

@@ -1,0 +1,165 @@
+"""Regression tests for the ``lookahead`` branch of the alternating DD check.
+
+The lookahead strategy speculatively builds *both* candidates (next left gate
+and next inverted right gate) each iteration and commits only the one with
+the smaller decision diagram.  Its index bookkeeping is delicate: after
+evaluating a candidate, the losing side's index must be restored and the
+winning side's index advanced — get either wrong and gates are skipped or
+applied twice, silently corrupting the verdict.  These tests pin that
+bookkeeping via a spy on ``instruction_to_dd`` plus verdict checks, and the
+``max_nodes`` running-maximum reporting.
+"""
+
+import pytest
+
+import repro.core.equivalence as equivalence_module
+from repro.circuit import QuantumCircuit
+from repro.core import Configuration, check_equivalence
+from repro.core.equivalence import _inverse_instruction
+
+
+def _equivalent_pair() -> tuple[QuantumCircuit, QuantumCircuit]:
+    """An equivalent pair with different, pairwise-distinct gate lists.
+
+    The second circuit repeats the first and appends self-cancelling rotation
+    pairs with distinct angles, so every instruction (and every inverted
+    instruction) is unique — which lets the spy map each build back to an
+    unambiguous gate index.
+    """
+    left = QuantumCircuit(3, name="left")
+    left.h(0)
+    left.cx(0, 1)
+    left.t(1)
+    left.cx(1, 2)
+    left.h(2)
+
+    right = left.copy(name="right")
+    right.rx(0.3, 0)
+    right.rx(-0.3, 0)
+    right.rz(0.7, 1)
+    right.rz(-0.7, 1)
+    right.ry(0.2, 2)
+    right.ry(-0.2, 2)
+    return left, right
+
+
+@pytest.fixture()
+def build_spy(monkeypatch):
+    """Record every instruction whose gate DD the alternating check builds."""
+    calls = []
+    original = equivalence_module.instruction_to_dd
+
+    def wrapper(package, instruction):
+        calls.append(instruction)
+        return original(package, instruction)
+
+    monkeypatch.setattr(equivalence_module, "instruction_to_dd", wrapper)
+    return calls
+
+
+def _index_sequences(calls, left_list, inverse_right_list):
+    """Split the spied builds into per-side gate-index sequences."""
+    left_ids = {id(instruction): index for index, instruction in enumerate(left_list)}
+    left_seq, right_seq = [], []
+    for call in calls:
+        if id(call) in left_ids:
+            left_seq.append(left_ids[id(call)])
+        else:
+            right_seq.append(inverse_right_list.index(call))
+    return left_seq, right_seq
+
+
+def _assert_valid_progression(sequence, length):
+    """A correct lookahead builds indices 0..length-1 in order.
+
+    A discarded candidate is rebuilt at the *same* index next iteration, so
+    repeats are fine — but any jump (skipped gate) or decrease (index restored
+    to the wrong value) is a bookkeeping bug.
+    """
+    assert sequence[0] == 0
+    assert sequence[-1] == length - 1
+    assert set(sequence) == set(range(length))
+    for previous, current in zip(sequence, sequence[1:]):
+        assert current in (previous, previous + 1)
+
+
+class TestLookaheadIndexBookkeeping:
+    def test_equivalent_pair_verdict_and_gate_consumption(self, build_spy):
+        left, right = _equivalent_pair()
+        result = check_equivalence(left, right, strategy="lookahead")
+        assert result.criterion.value == "equivalent"
+        assert result.details["num_gates_first"] == 5
+        assert result.details["num_gates_second"] == 11
+
+        left_list = list(left.remove_final_measurements().gate_instructions())
+        right_list = list(right.remove_final_measurements().gate_instructions())
+        inverse_right = [_inverse_instruction(instruction) for instruction in right_list]
+
+        # Each iteration builds at most two candidates and commits one, so the
+        # total number of builds is bounded by twice the committed gates.
+        total = len(left_list) + len(right_list)
+        assert total <= len(build_spy) <= 2 * total
+
+        left_seq, right_seq = _index_sequences(build_spy, left_list, inverse_right)
+        _assert_valid_progression(left_seq, len(left_list))
+        _assert_valid_progression(right_seq, len(right_list))
+
+    def test_both_candidate_branches_are_taken(self, build_spy):
+        """The pair is asymmetric enough that both sides win at least once."""
+        left, right = _equivalent_pair()
+        check_equivalence(left, right, strategy="lookahead")
+        left_list = list(left.remove_final_measurements().gate_instructions())
+        right_list = list(right.remove_final_measurements().gate_instructions())
+        inverse_right = [_inverse_instruction(instruction) for instruction in right_list]
+        left_seq, right_seq = _index_sequences(build_spy, left_list, inverse_right)
+        assert left_seq, "no left gate was ever applied"
+        assert right_seq, "no right gate was ever applied"
+
+    def test_non_equivalent_pair_is_detected(self):
+        left, right = _equivalent_pair()
+        right.z(1)
+        result = check_equivalence(left, right, strategy="lookahead")
+        assert result.criterion.value == "not_equivalent"
+
+    def test_lookahead_agrees_with_static_strategies(self):
+        left, right = _equivalent_pair()
+        verdicts = {
+            strategy: check_equivalence(left, right, strategy=strategy).criterion
+            for strategy in ("naive", "one_to_one", "proportional", "lookahead")
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+    def test_one_sided_pairs_exhaust_the_other_side(self):
+        """Tail branches (one list exhausted) must drain the remaining gates."""
+        empty = QuantumCircuit(2, name="empty")
+        cancelling = QuantumCircuit(2, name="cancelling")
+        cancelling.cx(0, 1)
+        cancelling.cx(0, 1)
+        assert check_equivalence(empty, cancelling, strategy="lookahead").equivalent
+        assert check_equivalence(cancelling, empty, strategy="lookahead").equivalent
+
+
+class TestMaxNodesReporting:
+    def test_max_nodes_is_a_running_maximum(self):
+        left, right = _equivalent_pair()
+        result = check_equivalence(left, right, strategy="lookahead")
+        details = result.details
+        # The product starts as the identity (one node per qubit) and ends
+        # there again for an equivalent pair; the running maximum must cover
+        # both endpoints.
+        assert details["max_nodes"] >= details["final_nodes"]
+        assert details["max_nodes"] >= left.num_qubits
+
+    def test_max_nodes_reported_for_all_strategies(self):
+        left, right = _equivalent_pair()
+        for strategy in ("naive", "one_to_one", "proportional", "lookahead"):
+            details = check_equivalence(left, right, strategy=strategy).details
+            assert details["max_nodes"] >= details["final_nodes"] >= 0
+
+
+def test_lookahead_on_dense_backend_degenerates_to_proportional():
+    left, right = _equivalent_pair()
+    configuration = Configuration(strategy="lookahead", backend="dense")
+    result = check_equivalence(left, right, configuration)
+    assert result.equivalent
+    assert result.strategy == "lookahead"
