@@ -507,9 +507,9 @@ class QuantumCircuit:
             )
         return [self.measure(q, q) for q in range(self.num_qubits)]
 
-    def reset(self, qubit) -> Instruction:
-        """Reset ``qubit`` to |0>."""
-        return self.append(Reset(), [qubit])
+    def reset(self, qubit, condition=None) -> Instruction:
+        """Reset ``qubit`` to |0> (optionally classically conditioned)."""
+        return self.append(Reset(), [qubit], condition=condition)
 
     def barrier(self, *qubits) -> Instruction:
         """Insert a barrier (over all qubits when none are given)."""
@@ -648,6 +648,35 @@ class QuantumCircuit:
                 continue
             used.update(inst.qubits)
         return used
+
+    # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle only the structural state: registers and instruction stream.
+
+        The index maps ``_qubit_indices``/``_clbit_indices`` are keyed by bits
+        that hash by register *identity*; serializing them would bake in
+        memory addresses.  They are derived state and are rebuilt from the
+        registers on unpickling, so circuits round-trip through ``pickle``
+        (e.g. into a ``ProcessPoolExecutor``) with an identical instruction
+        stream and internally consistent bit bookkeeping.
+        """
+        return {
+            "name": self.name,
+            "qregs": self._qregs,
+            "cregs": self._cregs,
+            "data": self._data,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(name=state["name"])
+        for register in state["qregs"]:
+            self.add_register(register)
+        for register in state["cregs"]:
+            self.add_register(register)
+        self._data = list(state["data"])
 
     # ------------------------------------------------------------------
     # presentation

@@ -123,6 +123,23 @@ class Operation:
     def __hash__(self) -> int:
         return hash((self.name, self.num_qubits, self.num_clbits, self.params))
 
+    # -- pickling -----------------------------------------------------------
+    #
+    # Operations are reconstructed through their constructors (rather than by
+    # restoring ``__dict__``) so that unpickling re-runs the same validation
+    # as normal construction and worker processes can never observe a gate
+    # state that could not have been built directly.
+
+    def _pickle_args(self) -> tuple:
+        """Constructor arguments reproducing this operation (see __reduce__)."""
+        if type(self) is Operation:
+            return (self.name, self.num_qubits, self.num_clbits, self.params)
+        # Every concrete operation subclass takes exactly its parameters.
+        return self.params
+
+    def __reduce__(self):
+        return (type(self), self._pickle_args())
+
 
 class Gate(Operation):
     """A unitary quantum gate."""
@@ -133,6 +150,11 @@ class Gate(Operation):
     @property
     def is_unitary(self) -> bool:
         return True
+
+    def _pickle_args(self) -> tuple:
+        if type(self) is Gate:
+            return (self.name, self.num_qubits, self.params)
+        return self.params
 
     @property
     def matrix(self) -> np.ndarray:
@@ -533,6 +555,12 @@ class ControlledGate(Gate):
     def __hash__(self) -> int:
         return hash((self.name, self.num_ctrl_qubits, self.ctrl_state, self.base_gate))
 
+    def _pickle_args(self) -> tuple:
+        if type(self) is ControlledGate:
+            return (self.base_gate, self.num_ctrl_qubits, self.ctrl_state, self.name)
+        # The single-control convenience subclasses take (params..., ctrl_state).
+        return (*self.params, self.ctrl_state)
+
 
 class CXGate(ControlledGate):
     """Controlled-NOT gate."""
@@ -656,6 +684,9 @@ class MCXGate(ControlledGate):
     def inverse(self) -> "MCXGate":
         return MCXGate(self.num_ctrl_qubits, self.ctrl_state)
 
+    def _pickle_args(self) -> tuple:
+        return (self.num_ctrl_qubits, self.ctrl_state)
+
 
 class MCPhaseGate(ControlledGate):
     """Multi-controlled phase gate."""
@@ -667,6 +698,9 @@ class MCPhaseGate(ControlledGate):
 
     def inverse(self) -> "MCPhaseGate":
         return MCPhaseGate(-self.params[0], self.num_ctrl_qubits, self.ctrl_state)
+
+    def _pickle_args(self) -> tuple:
+        return (self.params[0], self.num_ctrl_qubits, self.ctrl_state)
 
 
 # ---------------------------------------------------------------------------
@@ -792,6 +826,9 @@ class Barrier(Operation):
 
     def __init__(self, num_qubits: int) -> None:
         super().__init__("barrier", num_qubits, 0)
+
+    def _pickle_args(self) -> tuple:
+        return (self.num_qubits,)
 
     @property
     def is_unitary(self) -> bool:

@@ -92,10 +92,14 @@ class Instruction:
                 f"operation {operation.name!r} expects {operation.num_clbits} clbit(s), "
                 f"got {len(clbits)}"
             )
-        if condition is not None and not operation.is_unitary:
+        if condition is not None and not (operation.is_unitary or isinstance(operation, Reset)):
+            # OpenQASM 2 allows ``if (c == v)`` on any quantum operation; of
+            # the non-unitary primitives only the conditioned *reset* has
+            # well-defined semantics here (measure-into-a-bit under a
+            # condition on that very register is ill-specified).
             raise CircuitError(
-                f"only unitary operations may carry a classical condition, "
-                f"got {operation.name!r}"
+                f"only unitary operations and resets may carry a classical "
+                f"condition, got {operation.name!r}"
             )
         self.operation = operation
         self.qubits = qubits
@@ -150,6 +154,12 @@ class Instruction:
             clbits if clbits is not None else self.clbits,
             None if drop_condition else (condition if condition is not None else self.condition),
         )
+
+    def __reduce__(self):
+        # Rebuild through __init__ (instead of restoring raw slots) so that an
+        # unpickled instruction has passed the same operand validation as one
+        # built directly — important for circuits shipped to worker processes.
+        return (Instruction, (self.operation, self.qubits, self.clbits, self.condition))
 
     def __repr__(self) -> str:
         parts = [f"{self.operation.name}", f"qubits={list(self.qubits)}"]

@@ -262,6 +262,12 @@ def circuit_from_qasm(text: str) -> QuantumCircuit:
 
         match = _MEASURE.match(statement)
         if match:
+            if condition is not None:
+                # Silently dropping the condition would miscompile the circuit
+                # into one that always measures.
+                raise QasmError(
+                    f"classically-conditioned measurement is not supported: {statement!r}"
+                )
             q = qubit_index(match.group(1), int(match.group(2)))
             c = clbit_index(match.group(3), int(match.group(4)))
             circuit.measure(q, c)
@@ -270,7 +276,7 @@ def circuit_from_qasm(text: str) -> QuantumCircuit:
         match = _RESET.match(statement)
         if match:
             q = qubit_index(match.group(1), int(match.group(2)))
-            circuit.reset(q)
+            circuit.reset(q, condition=condition)
             continue
 
         match = _GATE.match(statement)

@@ -13,6 +13,16 @@ from repro.exceptions import CircuitError
 __all__ = ["Clbit", "ClassicalRegister", "QuantumRegister", "Qubit"]
 
 
+def _bit_from_register(register: "_Register", index: int) -> "_Bit":
+    """Pickle helper: resolve a bit through its (unpickled) register.
+
+    Bits compare and hash by register *identity*, so an unpickled bit must be
+    the very object stored in its register's bit tuple — a freshly constructed
+    ``_Bit(register, index)`` would be equal to no circuit-held bit.
+    """
+    return register[index]
+
+
 class _Bit:
     """A single bit belonging to a register."""
 
@@ -37,6 +47,9 @@ class _Bit:
 
     def __hash__(self) -> int:
         return hash((id(self.register), self.index, type(self).__name__))
+
+    def __reduce__(self):
+        return (_bit_from_register, (self.register, self.index))
 
 
 class Qubit(_Bit):
@@ -97,6 +110,13 @@ class _Register:
 
     def __hash__(self) -> int:
         return id(self)
+
+    def __reduce__(self):
+        # Reconstruct through __init__ so the register owns a fresh, internally
+        # consistent bit tuple; pickle's memo keeps one unpickled register per
+        # pickled register, preserving identity-based equality within (and
+        # across) the circuits of a single payload.
+        return (type(self), (self._size, self._name))
 
 
 class QuantumRegister(_Register):

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     repro-qcec verify static.qasm dynamic.qasm --method alternating --strategy proportional
     repro-qcec verify static.qasm dynamic.qasm --portfolio simulation,alternating
     repro-qcec batch manifest.txt --max-workers 8 --json
+    repro-qcec batch manifest.txt --executor process --chunk-size 4 --max-workers 8
     repro-qcec verify-behaviour static.qasm dynamic.qasm
     repro-qcec extract dynamic.qasm --backend dd
     repro-qcec show circuit.qasm
@@ -107,6 +108,30 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--backend", default="dd", choices=["dd", "dense"])
     batch.add_argument("--tolerance", type=float, default=1e-7)
     batch.add_argument("--max-workers", type=int, default=4)
+    batch.add_argument(
+        "--executor",
+        default="thread",
+        choices=["thread", "process"],
+        help=(
+            "run pairs on a thread pool (default) or on a process pool; the DD "
+            "checkers are CPU-bound pure Python, so processes scale with cores "
+            "where threads are GIL-bound"
+        ),
+    )
+    batch.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="circuit pairs per process work unit (amortizes pickling overhead)",
+    )
+    batch.add_argument(
+        "--gate-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the per-package gate-DD cache (LRU eviction; default unbounded)",
+    )
     batch.add_argument("--timeout", type=float, default=None, help="overall budget per pair in seconds")
     batch.add_argument(
         "--checker-timeout", type=float, default=None, help="per-checker budget in seconds"
@@ -286,6 +311,9 @@ def _command_batch(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         checker_timeout=args.checker_timeout,
         max_workers=args.max_workers,
+        executor=args.executor,
+        batch_chunk_size=args.chunk_size,
+        gate_cache_size=args.gate_cache_size,
     )
     manager = EquivalenceCheckingManager(configuration)
     batch = manager.verify_batch(circuits)
@@ -300,7 +328,10 @@ def _command_batch(args: argparse.Namespace) -> int:
                 entry.index = index
                 merged.append(entry)
         batch = BatchResult(
-            entries=merged, total_time=batch.total_time, max_workers=batch.max_workers
+            entries=merged,
+            total_time=batch.total_time,
+            max_workers=batch.max_workers,
+            executor=batch.executor,
         )
     if args.json:
         payload = batch.summary()
@@ -333,8 +364,18 @@ def _command_batch(args: argparse.Namespace) -> int:
         print(
             f"batch: {batch.num_equivalent}/{batch.num_pairs} equivalent, "
             f"{batch.num_failed} failed, t={batch.total_time:.6f}s "
-            f"(workers={batch.max_workers})"
+            f"(workers={batch.max_workers}, executor={batch.executor})"
         )
+    if not batch.any_verdict:
+        # Mirror `verify`: every pair failed or stayed undecided, so nothing
+        # was actually checked — that is a failed run (2), not a
+        # non-equivalence finding (1).
+        print(
+            f"error: no pair produced a verdict ({batch.num_failed}/{batch.num_pairs} "
+            "failed or undecided)",
+            file=sys.stderr,
+        )
+        return 2
     return 0 if batch.all_equivalent else 1
 
 

@@ -49,10 +49,12 @@ from repro.core.transformation import (
     substitute_resets,
     to_unitary_circuit,
 )
+from repro.core.workers import BatchWorkUnit, chunk_pairs, verify_work_unit
 
 __all__ = [
     "BatchEntry",
     "BatchResult",
+    "BatchWorkUnit",
     "CheckerAttempt",
     "Configuration",
     "DEFAULT_PORTFOLIO",
@@ -66,6 +68,7 @@ __all__ = [
     "alternating_schedule",
     "check_behavioural_equivalence",
     "check_equivalence",
+    "chunk_pairs",
     "classical_fidelity",
     "defer_measurements",
     "distributions_equivalent",
@@ -82,4 +85,5 @@ __all__ = [
     "verify",
     "verify_batch",
     "verify_portfolio",
+    "verify_work_unit",
 ]

@@ -12,6 +12,7 @@ _METHODS = ("alternating", "construction", "simulation")
 _STRATEGIES = ("naive", "one_to_one", "proportional", "lookahead")
 _BACKENDS = ("dd", "dense")
 _STIMULI = ("basis", "product")
+_EXECUTORS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,12 @@ class Configuration:
         Whether the decision-diagram backend memoizes per-gate DDs (see
         :meth:`repro.dd.package.DDPackage.gate_cache_lookup`).  On by default;
         switching it off is mainly useful for benchmarking the cache itself.
+    gate_cache_size:
+        Upper bound on the number of memoized gate DDs (and operator chains)
+        per :class:`~repro.dd.package.DDPackage`, evicted least-recently-used
+        first.  ``None`` (the default) keeps the caches unbounded, which is
+        fine for one-shot checks; long-lived worker processes should set a
+        bound so their packages do not grow without limit.
     portfolio:
         Checker methods run by the
         :class:`~repro.core.manager.EquivalenceCheckingManager` (a subset of
@@ -60,8 +67,20 @@ class Configuration:
         Wall-clock budget (seconds) of each individual checker within a
         portfolio run; ``None`` disables the limit.
     max_workers:
-        Number of worker threads used by
-        :meth:`~repro.core.manager.EquivalenceCheckingManager.verify_batch`.
+        Number of concurrent workers used by
+        :meth:`~repro.core.manager.EquivalenceCheckingManager.verify_batch`
+        (threads or processes, depending on ``executor``).
+    executor:
+        Execution backend of ``verify_batch``: ``thread`` (shared-memory
+        thread pool; GIL-bound for the CPU-heavy DD checkers) or ``process``
+        (a process pool fed with pickled circuit pairs; each worker process
+        rebuilds its own manager and DD packages, which never cross process
+        boundaries).
+    batch_chunk_size:
+        Number of circuit pairs per picklable work unit when
+        ``executor == "process"``.  Larger chunks amortize pickling and
+        process-dispatch overhead at the cost of coarser load balancing.
+        Ignored by the thread executor.
     """
 
     method: str = "alternating"
@@ -73,10 +92,13 @@ class Configuration:
     stimuli_type: str = "product"
     seed: int | None = None
     gate_cache: bool = True
+    gate_cache_size: int | None = None
     portfolio: tuple[str, ...] | None = None
     timeout: float | None = None
     checker_timeout: float | None = None
     max_workers: int = 4
+    executor: str = "thread"
+    batch_chunk_size: int = 1
 
     def __post_init__(self) -> None:
         if self.method not in _METHODS:
@@ -117,6 +139,14 @@ class Configuration:
                 raise EquivalenceCheckingError(f"{name} must be positive (or None)")
         if self.max_workers < 1:
             raise EquivalenceCheckingError("max_workers must be at least 1")
+        if self.executor not in _EXECUTORS:
+            raise EquivalenceCheckingError(
+                f"unknown executor {self.executor!r}; choose from {_EXECUTORS}"
+            )
+        if self.batch_chunk_size < 1:
+            raise EquivalenceCheckingError("batch_chunk_size must be at least 1")
+        if self.gate_cache_size is not None and self.gate_cache_size < 1:
+            raise EquivalenceCheckingError("gate_cache_size must be at least 1 (or None)")
 
     def updated(self, **overrides) -> "Configuration":
         """Return a copy with the given fields replaced."""

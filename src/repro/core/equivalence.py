@@ -147,7 +147,11 @@ class EquivalenceChecker:
     def _alternating_dd(self, first: QuantumCircuit, second: QuantumCircuit):
         config = self.configuration
         num_qubits = first.num_qubits
-        package = DDPackage(num_qubits, gate_cache=config.gate_cache)
+        package = DDPackage(
+            num_qubits,
+            gate_cache=config.gate_cache,
+            gate_cache_size=config.gate_cache_size,
+        )
         left, right = self._gate_lists(first, second)
         product = package.identity()
         max_nodes = package.count_nodes(product)
@@ -231,7 +235,11 @@ class EquivalenceChecker:
     def _construction(self, first: QuantumCircuit, second: QuantumCircuit):
         config = self.configuration
         if config.backend == "dd":
-            package = DDPackage(first.num_qubits, gate_cache=config.gate_cache)
+            package = DDPackage(
+                first.num_qubits,
+                gate_cache=config.gate_cache,
+                gate_cache_size=config.gate_cache_size,
+            )
             from repro.dd.circuits import circuit_to_unitary_dd
 
             unitary_first = circuit_to_unitary_dd(package, first)
@@ -273,6 +281,7 @@ class EquivalenceChecker:
             tolerance=config.tolerance,
             seed=config.seed,
             gate_cache=config.gate_cache,
+            gate_cache_size=config.gate_cache_size,
         )
         criterion = (
             EquivalenceCriterion.PROBABLY_EQUIVALENT

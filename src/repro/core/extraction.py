@@ -182,6 +182,13 @@ def extract_distribution(
             qubit = instruction.qubits[0]
             new_branches = []
             for branch in branches:
+                # Each branch carries concrete classical values, so a
+                # classically-conditioned reset simply applies per branch.
+                if instruction.condition is not None and not instruction.condition.is_satisfied(
+                    branch.classical
+                ):
+                    new_branches.append(branch)
+                    continue
                 for outcome_probability, reset_state in branch.state.reset_qubit_outcomes(qubit):
                     path_probability = branch.probability * outcome_probability
                     if path_probability <= prune_threshold:

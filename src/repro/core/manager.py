@@ -16,8 +16,11 @@ with per-checker and overall wall-clock budgets, terminates early on the
 first definitive verdict, and records which checker decided and why in a
 :class:`~repro.core.results.PortfolioResult`.  For scale,
 :meth:`EquivalenceCheckingManager.verify_batch` verifies many circuit pairs
-concurrently on a thread pool, isolating per-pair failures and aggregating
-statistics in a :class:`~repro.core.results.BatchResult`.
+concurrently — on a thread pool (``executor="thread"``) or, since the DD
+checkers are pure-Python CPU work and therefore GIL-bound, on a process pool
+(``executor="process"``) fed with pickled work units from
+:mod:`repro.core.workers` — isolating per-pair failures and aggregating
+statistics in a :class:`~repro.core.results.BatchResult` either way.
 
 Example
 -------
@@ -48,6 +51,7 @@ from repro.core.results import (
     PortfolioResult,
 )
 from repro.core.transformation import to_unitary_circuit
+from repro.core.workers import BatchWorkUnit, chunk_pairs, verify_work_unit
 
 __all__ = [
     "DEFAULT_PORTFOLIO",
@@ -67,6 +71,15 @@ _DEFINITIVE = (
     EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE,
     EquivalenceCriterion.NOT_EQUIVALENT,
 )
+
+#: Ranking of non-definitive criteria: when no checker is definitive the
+#: portfolio falls back to the *best* indicative verdict seen, in this order
+#: (higher is better).  A ``NO_INFORMATION`` from an early checker must never
+#: shadow a later ``PROBABLY_EQUIVALENT``.
+_INDICATIVE_RANK = {
+    EquivalenceCriterion.NO_INFORMATION: 0,
+    EquivalenceCriterion.PROBABLY_EQUIVALENT: 1,
+}
 
 
 class EquivalenceCheckingManager:
@@ -171,7 +184,8 @@ class EquivalenceCheckingManager:
                         attempts=attempts,
                         total_time=time.perf_counter() - start,
                     )
-                if indicative is None:
+                rank = _INDICATIVE_RANK.get(criterion, 0)
+                if indicative is None or rank > _INDICATIVE_RANK.get(indicative, 0):
                     indicative = criterion
                     indicative_method = method
 
@@ -260,27 +274,82 @@ class EquivalenceCheckingManager:
     ) -> BatchResult:
         """Verify many circuit pairs concurrently.
 
-        Each pair gets a full portfolio run on a thread pool of
-        ``configuration.max_workers`` workers.  Entries come back in input
-        order; a pair that raises is recorded as failed without affecting the
-        other pairs.
+        Each pair gets a full portfolio run on ``configuration.max_workers``
+        concurrent workers — threads (``executor="thread"``, the default) or
+        worker processes (``executor="process"``, sharded into picklable work
+        units of ``batch_chunk_size`` pairs; see :mod:`repro.core.workers`).
+        Entries come back in input order either way, and a pair that raises is
+        recorded as failed without affecting the other pairs.
         """
         start = time.perf_counter()
-        entries: list[BatchEntry] = []
-        max_workers = self.configuration.max_workers
+        pairs = list(pairs)
+        config = self.configuration
+        if config.executor == "process":
+            entries = self._batch_entries_processes(pairs)
+        else:
+            entries = self._batch_entries_threads(pairs)
+        return BatchResult(
+            entries=entries,
+            total_time=time.perf_counter() - start,
+            max_workers=config.max_workers,
+            executor=config.executor,
+        )
+
+    def _batch_entries_threads(
+        self, pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]]
+    ) -> list[BatchEntry]:
         with concurrent.futures.ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="verify-batch"
+            max_workers=self.configuration.max_workers, thread_name_prefix="verify-batch"
         ) as executor:
             futures = [
                 executor.submit(self._batch_entry, index, first, second)
                 for index, (first, second) in enumerate(pairs)
             ]
-            entries = [future.result() for future in futures]
-        return BatchResult(
-            entries=entries,
-            total_time=time.perf_counter() - start,
-            max_workers=max_workers,
-        )
+            return [future.result() for future in futures]
+
+    def _batch_entries_processes(
+        self, pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]]
+    ) -> list[BatchEntry]:
+        """Fan work units out to a process pool, reassembling input order.
+
+        A unit whose future fails as a whole (unpicklable payload, a worker
+        process dying, a broken pool) is mapped back onto per-pair error
+        entries, so failure isolation matches the thread path at work-unit
+        granularity and the batch always returns one entry per input pair.
+        """
+        config = self.configuration
+        entries: list[BatchEntry | None] = [None] * len(pairs)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=config.max_workers
+        ) as executor:
+            futures = {
+                executor.submit(
+                    verify_work_unit, BatchWorkUnit(configuration=config, pairs=unit)
+                ): unit
+                for unit in chunk_pairs(pairs, config.batch_chunk_size)
+            }
+            for future, unit in futures.items():
+                try:
+                    for entry in future.result():
+                        entries[entry.index] = entry
+                except Exception as error:  # noqa: BLE001 - isolate unit failures
+                    for index, first, second in unit:
+                        entries[index] = BatchEntry(
+                            index=index,
+                            name_first=getattr(first, "name", None) or f"first[{index}]",
+                            name_second=getattr(second, "name", None)
+                            or f"second[{index}]",
+                            error=f"{type(error).__name__}: {error}",
+                        )
+        for index, (first, second) in enumerate(pairs):
+            if entries[index] is None:  # defensive: a worker under-delivered
+                entries[index] = BatchEntry(
+                    index=index,
+                    name_first=getattr(first, "name", None) or f"first[{index}]",
+                    name_second=getattr(second, "name", None) or f"second[{index}]",
+                    error="worker returned no entry for this pair",
+                )
+        return entries
 
     def _batch_entry(
         self, index: int, first: QuantumCircuit, second: QuantumCircuit

@@ -212,6 +212,7 @@ class BatchResult:
     entries: list[BatchEntry] = field(default_factory=list)
     total_time: float = 0.0
     max_workers: int = 1
+    executor: str = "thread"
 
     @property
     def num_pairs(self) -> int:
@@ -245,6 +246,16 @@ class BatchResult:
     def all_equivalent(self) -> bool:
         return self.num_equivalent == self.num_pairs
 
+    @property
+    def any_verdict(self) -> bool:
+        """Whether at least one pair produced an actual verdict.
+
+        False when every pair either raised or finished undecided — a batch
+        that *could not be checked*, as opposed to one that found
+        non-equivalences.
+        """
+        return self.num_failed < self.num_pairs
+
     def summary(self) -> dict:
         """Aggregate statistics (JSON-friendly)."""
         times = [entry.time_taken for entry in self.entries]
@@ -255,6 +266,7 @@ class BatchResult:
             "num_failed": self.num_failed,
             "total_time": self.total_time,
             "max_workers": self.max_workers,
+            "executor": self.executor,
             "max_pair_time": max(times, default=0.0),
             "mean_pair_time": (sum(times) / len(times)) if times else 0.0,
         }
@@ -263,5 +275,5 @@ class BatchResult:
         return (
             f"BatchResult({self.num_equivalent}/{self.num_pairs} equivalent, "
             f"{self.num_failed} failed, t={self.total_time:.6f}s, "
-            f"workers={self.max_workers})"
+            f"workers={self.max_workers}, executor={self.executor})"
         )

@@ -47,6 +47,7 @@ def run_simulative_check(
     tolerance: float = 1e-7,
     seed: int | None = None,
     gate_cache: bool = True,
+    gate_cache_size: int | None = None,
 ) -> tuple[bool, dict]:
     """Compare two unitary circuits on random stimuli.
 
@@ -68,7 +69,11 @@ def run_simulative_check(
     details: dict = {"num_simulations": num_simulations, "stimuli_type": stimuli_type}
     # One shared package across all stimuli: the circuits' gate DDs are built
     # once and then served from the gate cache on every subsequent run.
-    package = DDPackage(num_qubits, gate_cache=gate_cache) if backend == "dd" else None
+    package = (
+        DDPackage(num_qubits, gate_cache=gate_cache, gate_cache_size=gate_cache_size)
+        if backend == "dd"
+        else None
+    )
 
     for run in range(num_simulations):
         if stimuli_type == "basis":

@@ -98,6 +98,18 @@ def substitute_resets(circuit: QuantumCircuit) -> QuantumCircuit:
 
     for instruction in circuit:
         if instruction.is_reset:
+            if instruction.condition is not None:
+                # Whether the rewiring happens would depend on a run-time
+                # classical value; rewiring unconditionally would miscompile a
+                # conditional reset into an unconditional one.  Such circuits
+                # have no unitary reconstruction under Scheme 1 — use the
+                # behavioural check (Scheme 2) instead.
+                raise TransformationError(
+                    "cannot substitute a classically-conditioned reset "
+                    f"(qubit {instruction.qubits[0]}, condition on clbits "
+                    f"{list(instruction.condition.clbits)}); conditional resets are "
+                    "only supported by the behavioural (Scheme 2) flow"
+                )
             original = instruction.qubits[0]
             if current[original] not in touched:
                 # The qubit is still in |0>; the reset has no effect.

@@ -1,0 +1,82 @@
+"""Process-pool work units for batch verification.
+
+:meth:`~repro.core.manager.EquivalenceCheckingManager.verify_batch` can run on
+a ``ProcessPoolExecutor`` (``Configuration.executor == "process"``), which
+requires every work unit to round-trip through ``pickle``:
+
+* the *input* of a unit is a :class:`BatchWorkUnit` — the (picklable)
+  :class:`~repro.core.configuration.Configuration` plus a chunk of indexed
+  circuit pairs (:class:`~repro.circuit.circuit.QuantumCircuit` defines
+  ``__getstate__``/``__setstate__``, gates and instructions define
+  ``__reduce__``);
+* the *worker* is the top-level function :func:`verify_work_unit`, importable
+  by name from any start method (fork, spawn, forkserver);
+* the *output* is a list of plain :class:`~repro.core.results.BatchEntry`
+  objects.
+
+Each worker process rebuilds its own
+:class:`~repro.core.manager.EquivalenceCheckingManager` from the configuration;
+decision-diagram packages and their caches are created inside the checkers and
+stay strictly process-local (:class:`~repro.dd.package.DDPackage` refuses to be
+pickled).  Per-pair failure isolation is identical to the thread path: the
+entries of a failing pair record the error, the rest of the chunk proceeds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.configuration import Configuration
+from repro.core.results import BatchEntry
+
+__all__ = ["BatchWorkUnit", "chunk_pairs", "verify_work_unit"]
+
+
+@dataclass
+class BatchWorkUnit:
+    """A picklable shard of a batch: a configuration plus indexed pairs.
+
+    ``pairs`` holds ``(index, first, second)`` triples; ``index`` is the
+    position in the original batch so that results can be reassembled in input
+    order regardless of completion order.
+    """
+
+    configuration: Configuration
+    pairs: list[tuple[int, QuantumCircuit, QuantumCircuit]]
+
+
+def chunk_pairs(
+    pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]], chunk_size: int
+) -> Iterator[list[tuple[int, QuantumCircuit, QuantumCircuit]]]:
+    """Shard ``pairs`` into lists of at most ``chunk_size`` indexed triples."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+    chunk: list[tuple[int, QuantumCircuit, QuantumCircuit]] = []
+    for index, (first, second) in enumerate(pairs):
+        chunk.append((index, first, second))
+        if len(chunk) == chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def verify_work_unit(unit: BatchWorkUnit) -> list[BatchEntry]:
+    """Verify one work unit inside a worker process.
+
+    Top-level (hence picklable by reference) entry point for
+    ``ProcessPoolExecutor``.  Rebuilds a manager from the unit's configuration
+    — forced onto the thread executor so a worker can never recursively spawn
+    process pools — and runs each pair through the normal portfolio flow.
+    """
+    # Imported here, not at module top, to avoid a circular import with
+    # repro.core.manager (which imports this module for chunking).
+    from repro.core.manager import EquivalenceCheckingManager
+
+    manager = EquivalenceCheckingManager(unit.configuration.updated(executor="thread"))
+    return [
+        manager._batch_entry(index, first, second)
+        for index, first, second in unit.pairs
+    ]

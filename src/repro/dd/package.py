@@ -20,6 +20,7 @@ Conventions
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 
 import numpy as np
@@ -50,9 +51,12 @@ class DDPackage:
         num_qubits: int,
         tolerance: float = DEFAULT_TOLERANCE,
         gate_cache: bool = True,
+        gate_cache_size: int | None = None,
     ):
         if num_qubits < 1:
             raise DDError("a DD package needs at least one qubit")
+        if gate_cache_size is not None and gate_cache_size < 1:
+            raise DDError("gate_cache_size must be at least 1 (or None for unbounded)")
         self.num_qubits = num_qubits
         self.tolerance = tolerance
         self._vector_table: UniqueTable[VNode] = UniqueTable()
@@ -65,10 +69,23 @@ class DDPackage:
         self._norm = ComputeTable("norm-squared")
         self._max_entry = ComputeTable("max-entry")
         self.gate_cache_enabled = gate_cache
-        self._gate_cache: dict = {}
+        # Both memoization caches are LRU-ordered: a hit refreshes the entry,
+        # a store beyond ``gate_cache_size`` evicts the least recently used
+        # entry.  ``None`` keeps them unbounded (fine for one-shot checks;
+        # long-lived worker processes should set a bound).
+        self.gate_cache_size = gate_cache_size
+        self._gate_cache: OrderedDict = OrderedDict()
         self._gate_cache_hits = 0
         self._gate_cache_misses = 0
-        self._chain_cache: dict = {}
+        self._gate_cache_evictions = 0
+        self._chain_cache: OrderedDict = OrderedDict()
+        self._chain_cache_evictions = 0
+
+    def __reduce__(self):
+        raise TypeError(
+            "DDPackage is process-local and must never be pickled; workers "
+            "rebuild their own packages from the (picklable) Configuration"
+        )
 
     # ------------------------------------------------------------------
     # terminals and node construction
@@ -186,10 +203,12 @@ class DDPackage:
             )
             cached = self._chain_cache.get(key)
             if cached is not None:
+                self._chain_cache.move_to_end(key)
                 return cached
         edge = self._build_operator_chain(operators)
         if key is not None:
             self._chain_cache[key] = edge
+            self._chain_cache_evictions += self._evict_lru(self._chain_cache)
         return edge
 
     def _build_operator_chain(self, operators: Mapping[int, np.ndarray]) -> MEdge:
@@ -529,8 +548,8 @@ class DDPackage:
         """Look up a previously built gate DD (None on miss or disabled cache).
 
         Keys are hashable gate descriptions — ``(gate, qubits)`` as produced by
-        :func:`repro.dd.circuits.instruction_to_dd`.  Hit/miss counters feed
-        :meth:`statistics`.
+        :func:`repro.dd.circuits.instruction_to_dd`.  A hit marks the entry as
+        most recently used.  Hit/miss/eviction counters feed :meth:`statistics`.
         """
         if not self.gate_cache_enabled:
             return None
@@ -539,12 +558,28 @@ class DDPackage:
             self._gate_cache_misses += 1
             return None
         self._gate_cache_hits += 1
+        self._gate_cache.move_to_end(key)
         return cached
 
     def gate_cache_store(self, key, edge: MEdge) -> None:
-        """Memoize the matrix DD of a gate (no-op when the cache is disabled)."""
+        """Memoize the matrix DD of a gate (no-op when the cache is disabled).
+
+        When ``gate_cache_size`` is set, storing beyond the bound evicts the
+        least recently used entries so long-lived packages stay bounded.
+        """
         if self.gate_cache_enabled:
             self._gate_cache[key] = edge
+            self._gate_cache_evictions += self._evict_lru(self._gate_cache)
+
+    def _evict_lru(self, cache: OrderedDict) -> int:
+        """Trim ``cache`` down to ``gate_cache_size``; returns evicted count."""
+        if self.gate_cache_size is None:
+            return 0
+        evicted = 0
+        while len(cache) > self.gate_cache_size:
+            cache.popitem(last=False)
+            evicted += 1
+        return evicted
 
     # ------------------------------------------------------------------
     # conversion and inspection
@@ -611,8 +646,11 @@ class DDPackage:
             "multiply_mm_cache": len(self._mult_mm),
             "chain_cache_size": len(self._chain_cache),
             "gate_cache_size": len(self._gate_cache),
+            "gate_cache_limit": self.gate_cache_size,
             "gate_cache_hits": self._gate_cache_hits,
             "gate_cache_misses": self._gate_cache_misses,
+            "gate_cache_evictions": self._gate_cache_evictions,
+            "chain_cache_evictions": self._chain_cache_evictions,
             "gate_cache_hit_ratio": (
                 self._gate_cache_hits / (self._gate_cache_hits + self._gate_cache_misses)
                 if (self._gate_cache_hits + self._gate_cache_misses)

@@ -72,7 +72,12 @@ class DensityMatrixSimulator:
                 )
             elif instruction.is_reset:
                 branches = {
-                    key: self._apply_reset(rho, instruction.qubits[0], num_qubits)
+                    key: (
+                        self._apply_reset(rho, instruction.qubits[0], num_qubits)
+                        if instruction.condition is None
+                        or instruction.condition.is_satisfied(key)
+                        else rho
+                    )
                     for key, rho in branches.items()
                 }
             else:

@@ -46,6 +46,10 @@ class StochasticSimulator:
                 classical[instruction.clbits[0]] = outcome
                 continue
             if instruction.is_reset:
+                if instruction.condition is not None and not instruction.condition.is_satisfied(
+                    classical
+                ):
+                    continue
                 qubit = instruction.qubits[0]
                 p_one = state.probability_of_one(qubit)
                 outcome = 1 if self._rng.random() < p_one else 0

@@ -160,6 +160,70 @@ class TestPortfolioAndBatch:
         assert payload["entries"][0]["equivalent"] is True
         assert "missing" in payload["entries"][1]["second"]
 
+    def test_batch_with_no_verdict_returns_two(self, qasm_files, tmp_path, capsys):
+        # Regression: a batch where *no* pair could be checked used to return
+        # 1 ("not equivalent") instead of 2 ("could not check").
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text(
+            f"{qasm_files['bv_static']} {tmp_path / 'missing.qasm'}\n"
+            f"{tmp_path / 'also_missing.qasm'} {qasm_files['bv_dynamic']}\n",
+            encoding="utf-8",
+        )
+        code = main(["batch", str(manifest)])
+        assert code == 2
+        assert "no pair produced a verdict" in capsys.readouterr().err
+
+    def test_batch_undecidable_pair_returns_two(self, qasm_files, tmp_path, capsys):
+        # A qubit-count mismatch makes every checker error out: undecided.
+        two_qubits = tmp_path / "two.qasm"
+        two_qubits.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\nh q[0];\n',
+            encoding="utf-8",
+        )
+        three_qubits = tmp_path / "three.qasm"
+        three_qubits.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[3];\nh q[0];\n',
+            encoding="utf-8",
+        )
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text(f"{two_qubits} {three_qubits}\n", encoding="utf-8")
+        code = main(["batch", str(manifest), "--json"])
+        assert code == 2
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["num_failed"] == 1
+        assert "no pair produced a verdict" in captured.err
+
+    def test_batch_process_executor(self, qasm_files, tmp_path, capsys):
+        manifest = tmp_path / "manifest.txt"
+        manifest.write_text(
+            f"{qasm_files['bv_static']} {qasm_files['bv_dynamic']}\n"
+            f"{qasm_files['bv_static']} {qasm_files['bv_wrong']}\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "batch",
+                str(manifest),
+                "--executor",
+                "process",
+                "--chunk-size",
+                "2",
+                "--max-workers",
+                "2",
+                "--gate-cache-size",
+                "64",
+                "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "process"
+        assert payload["num_pairs"] == 2
+        assert payload["num_equivalent"] == 1
+        assert payload["entries"][0]["equivalent"] is True
+        assert payload["entries"][1]["equivalent"] is False
+
     def test_empty_manifests_error(self, tmp_path, capsys):
         empty_json = tmp_path / "empty.json"
         empty_json.write_text("[]", encoding="utf-8")

@@ -18,6 +18,42 @@ from repro.exceptions import ExtractionError
 from repro.simulators.density_matrix import DensityMatrixSimulator
 
 
+class TestConditionedReset:
+    def _circuit(self, ctrl_value: int) -> QuantumCircuit:
+        """|1> is measured into c0, then q0 is reset iff c0 == ctrl_value."""
+        circuit = QuantumCircuit(1, 2)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        circuit.reset(0, condition=(0, ctrl_value))
+        circuit.measure(0, 1)
+        return circuit
+
+    @pytest.mark.parametrize("backend", ["statevector", "dd"])
+    def test_satisfied_condition_applies_reset(self, backend):
+        distribution = extract_distribution(self._circuit(1), backend=backend).distribution
+        # c0 = 1 always; condition fires, so the second measurement reads 0.
+        assert distribution == pytest.approx({"01": 1.0})
+
+    @pytest.mark.parametrize("backend", ["statevector", "dd"])
+    def test_unsatisfied_condition_skips_reset(self, backend):
+        distribution = extract_distribution(self._circuit(0), backend=backend).distribution
+        # Condition never fires: an unconditional-reset miscompile would
+        # read 0 here instead of the surviving 1.
+        assert distribution == pytest.approx({"11": 1.0})
+
+    def test_density_matrix_simulator_agrees(self):
+        fired = DensityMatrixSimulator().run(self._circuit(1))
+        skipped = DensityMatrixSimulator().run(self._circuit(0))
+        assert fired == pytest.approx({"01": 1.0})
+        assert skipped == pytest.approx({"11": 1.0})
+
+    def test_stochastic_simulator_agrees(self):
+        from repro.simulators.stochastic import StochasticSimulator
+
+        counts = StochasticSimulator(seed=5).run(self._circuit(0), shots=16)
+        assert counts == {"11": 16}
+
+
 class TestBasics:
     def test_static_circuit_with_final_measurements(self):
         circuit = QuantumCircuit(2, 2)

@@ -21,7 +21,9 @@ from repro.core import (
     verify_batch,
     verify_portfolio,
 )
+from repro.core import chunk_pairs
 from repro.core.manager import DEFAULT_PORTFOLIO
+from repro.core.results import CheckerAttempt, EquivalenceCheckResult
 from repro.exceptions import EquivalenceCheckingError
 
 SEED = 1234
@@ -118,6 +120,55 @@ class TestEarlyTermination:
         assert result.criterion is EquivalenceCriterion.NO_INFORMATION
         assert all(attempt.status == "error" for attempt in result.attempts)
         assert result.decided_by is None
+
+
+class TestIndicativeFallback:
+    def _stub_checker(self, manager, criteria_by_method):
+        def run_checker(method, first, second, qubit_permutation, budget):
+            return CheckerAttempt(
+                method=method,
+                status="completed",
+                result=EquivalenceCheckResult(
+                    criterion=criteria_by_method[method], method=method
+                ),
+            )
+
+        manager._run_checker = run_checker
+
+    def test_later_probably_equivalent_beats_earlier_no_information(self):
+        # Regression: the manager used to keep only the *first* indicative
+        # criterion, so a NO_INFORMATION from an early checker shadowed a
+        # later PROBABLY_EQUIVALENT, contradicting the "best indicative"
+        # fallback promised by the docstring.
+        manager = EquivalenceCheckingManager(
+            seed=SEED, portfolio=("alternating", "simulation")
+        )
+        self._stub_checker(
+            manager,
+            {
+                "alternating": EquivalenceCriterion.NO_INFORMATION,
+                "simulation": EquivalenceCriterion.PROBABLY_EQUIVALENT,
+            },
+        )
+        result = manager.run(*_ghz_pair())
+        assert result.criterion is EquivalenceCriterion.PROBABLY_EQUIVALENT
+        assert result.decided_by is None
+        assert "simulation" in result.reason
+
+    def test_earlier_probably_equivalent_not_downgraded(self):
+        manager = EquivalenceCheckingManager(
+            seed=SEED, portfolio=("simulation", "alternating")
+        )
+        self._stub_checker(
+            manager,
+            {
+                "simulation": EquivalenceCriterion.PROBABLY_EQUIVALENT,
+                "alternating": EquivalenceCriterion.NO_INFORMATION,
+            },
+        )
+        result = manager.run(*_ghz_pair())
+        assert result.criterion is EquivalenceCriterion.PROBABLY_EQUIVALENT
+        assert "simulation" in result.reason
 
 
 class TestPortfolioAgreement:
@@ -233,6 +284,112 @@ class TestBatch:
         summary = batch.summary()
         assert summary["num_pairs"] == len(pairs)
         assert summary["max_pair_time"] >= summary["mean_pair_time"] > 0.0
+
+
+def _mixed_batch_pairs():
+    """A >=20-pair batch mixing equivalent, non-equivalent and dynamic pairs."""
+    pairs = []
+    for index in range(10):
+        pairs.append((ghz_ladder(2 + index % 4), ghz_ladder(2 + index % 4)))
+    for bits in ("101", "110", "0110", "1011", "11"):
+        pairs.append((bernstein_vazirani_static(bits), bernstein_vazirani_dynamic(bits)))
+    for theta in (0.3, 0.7, 1.1):
+        pairs.append((teleportation_static(theta), teleportation_dynamic(theta)))
+    pairs.append((ghz_ladder(3), ghz_with_bug(3)))
+    pairs.append((bernstein_vazirani_static("101"), bernstein_vazirani_dynamic("111")))
+    assert len(pairs) >= 20
+    return pairs
+
+
+class TestProcessExecutor:
+    def test_chunk_pairs_shards_and_indexes(self):
+        pairs = [(ghz_ladder(2), ghz_ladder(2)) for _ in range(5)]
+        chunks = list(chunk_pairs(pairs, 2))
+        assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+        assert [index for chunk in chunks for index, _, _ in chunk] == list(range(5))
+
+    def test_chunk_pairs_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunk_pairs([], 0))
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(EquivalenceCheckingError):
+            Configuration(executor="greenlet")
+        with pytest.raises(EquivalenceCheckingError):
+            Configuration(batch_chunk_size=0)
+
+    def test_process_batch_matches_thread_batch_on_mixed_pairs(self):
+        # Acceptance criterion: entry-for-entry identical criteria between the
+        # thread and process executors on a >=20-pair mixed batch.
+        pairs = _mixed_batch_pairs()
+        thread_batch = EquivalenceCheckingManager(
+            seed=SEED, executor="thread", max_workers=4
+        ).verify_batch(pairs)
+        process_batch = EquivalenceCheckingManager(
+            seed=SEED, executor="process", max_workers=4, batch_chunk_size=3
+        ).verify_batch(pairs)
+        assert process_batch.executor == "process"
+        assert process_batch.num_pairs == thread_batch.num_pairs == len(pairs)
+        for thread_entry, process_entry in zip(
+            thread_batch.entries, process_batch.entries
+        ):
+            assert process_entry.index == thread_entry.index
+            assert process_entry.name_first == thread_entry.name_first
+            assert process_entry.error is None and thread_entry.error is None
+            assert (
+                process_entry.result.criterion is thread_entry.result.criterion
+            ), process_entry.index
+            assert (
+                process_entry.result.decided_by == thread_entry.result.decided_by
+            ), process_entry.index
+
+    def test_process_batch_preserves_input_order_with_chunking(self):
+        pairs = []
+        for index in range(7):
+            first = ghz_ladder(2 + index % 3)
+            first.name = f"first-{index}"
+            second = ghz_ladder(2 + index % 3)
+            second.name = f"second-{index}"
+            pairs.append((first, second))
+        batch = EquivalenceCheckingManager(
+            seed=SEED, executor="process", max_workers=2, batch_chunk_size=3
+        ).verify_batch(pairs)
+        assert [entry.index for entry in batch.entries] == list(range(7))
+        assert [entry.name_first for entry in batch.entries] == [
+            f"first-{i}" for i in range(7)
+        ]
+        assert batch.all_equivalent
+
+    def test_process_batch_isolates_per_pair_failures(self):
+        good = _ghz_pair()
+        mismatched = (ghz_ladder(2), ghz_ladder(3))
+        batch = EquivalenceCheckingManager(
+            seed=SEED, executor="process", max_workers=2
+        ).verify_batch([good, mismatched, good])
+        assert batch.entries[0].equivalent
+        assert batch.entries[2].equivalent
+        middle = batch.entries[1]
+        assert not middle.equivalent
+        assert middle.result.criterion is EquivalenceCriterion.NO_INFORMATION
+        assert batch.num_failed == 1
+
+    def test_process_batch_isolates_unpicklable_pairs(self):
+        from repro.circuit.gates import XGate
+
+        class LocalGate(XGate):
+            """Defined inside the test, hence unimportable and unpicklable."""
+
+        good = _ghz_pair()
+        poison_first = ghz_ladder(2)
+        poison_first.append(LocalGate(), [0])
+        batch = EquivalenceCheckingManager(
+            seed=SEED, executor="process", max_workers=2
+        ).verify_batch([good, (poison_first, ghz_ladder(2)), good])
+        assert batch.entries[0].equivalent
+        assert batch.entries[2].equivalent
+        assert batch.entries[1].result is None
+        assert batch.entries[1].error is not None
+        assert batch.num_failed == 1
 
 
 class TestConvenienceWrappers:

@@ -139,6 +139,41 @@ class TestImport:
             circuit_from_qasm("OPENQASM 2.0; qreg q[1]; rz(import) q[0];")
 
 
+class TestConditionedNonUnitaries:
+    def test_conditioned_reset_import_keeps_condition(self):
+        # Regression: the importer used to drop the ``if`` silently, turning a
+        # conditional reset into an unconditional one.
+        qasm = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[1];\ncreg c[1];\n"
+            "measure q[0] -> c[0];\n"
+            "if (c == 1) reset q[0];\n"
+        )
+        circuit = circuit_from_qasm(qasm)
+        reset = circuit.data[-1]
+        assert reset.is_reset
+        assert reset.condition is not None
+        assert reset.condition.clbits == (0,)
+        assert reset.condition.value == 1
+
+    def test_conditioned_reset_round_trips(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        circuit.reset(0, condition=(0, 1))
+        exported = circuit_to_qasm(circuit)
+        assert "if (c == 1) reset q[0];" in exported
+        assert circuit_from_qasm(exported).data == circuit.data
+
+    def test_conditioned_measure_rejected(self):
+        qasm = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[1];\ncreg c[1];\n"
+            "if (c == 1) measure q[0] -> c[0];\n"
+        )
+        with pytest.raises(QasmError, match="conditioned measurement"):
+            circuit_from_qasm(qasm)
+
+
 class TestRoundTrip:
     @pytest.mark.parametrize("seed", range(5))
     def test_random_static_circuits(self, seed):

@@ -15,6 +15,36 @@ from repro.exceptions import TransformationError
 from repro.simulators.unitary import circuit_unitary, matrices_equal_up_to_global_phase
 
 
+class TestConditionedResets:
+    def _conditioned_reset_circuit(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        circuit.reset(0, condition=(0, 1))
+        circuit.measure(0, 1)
+        return circuit
+
+    def test_substitute_resets_rejects_conditioned_reset(self):
+        # Regression: the rewiring used to drop the classical condition,
+        # miscompiling a conditional reset into an unconditional one.
+        with pytest.raises(TransformationError, match="classically-conditioned reset"):
+            substitute_resets(self._conditioned_reset_circuit())
+
+    def test_to_unitary_circuit_rejects_conditioned_reset(self):
+        with pytest.raises(TransformationError):
+            to_unitary_circuit(self._conditioned_reset_circuit())
+
+    def test_unconditioned_resets_still_substituted(self):
+        circuit = QuantumCircuit(1, 2)
+        circuit.x(0)
+        circuit.measure(0, 0)
+        circuit.reset(0)
+        circuit.measure(0, 1)
+        substituted = substitute_resets(circuit)
+        assert substituted.num_qubits == 2
+        assert substituted.num_resets == 0
+
+
 class TestSubstituteResets:
     def test_no_resets_returns_copy(self):
         circuit = QuantumCircuit(2, 2)
