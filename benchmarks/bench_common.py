@@ -17,11 +17,24 @@ Every benchmark family reports the same four quantities as Table 1:
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
-__all__ = ["SCALE", "sizes_for"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "SCALE",
+    "sizes_for",
+    "validate_bench_payload",
+    "write_bench_json",
+]
 
 SCALE = os.environ.get("REPRO_SCALE", "default")
+
+#: Version of the ``BENCH_*.json`` result schema emitted by the benchmark
+#: scripts.  Bump when the payload layout changes so downstream consumers
+#: (CI smoke job, trend tooling) can detect incompatible files.
+BENCH_SCHEMA_VERSION = 1
 
 _SIZES = {
     # family: {scale: list of problem sizes}
@@ -54,3 +67,53 @@ def sizes_for(family: str) -> list[int]:
     """Problem sizes of a benchmark family under the active ``REPRO_SCALE``."""
     table = _SIZES[family]
     return table.get(SCALE, table["default"])
+
+
+def validate_bench_payload(payload: dict) -> None:
+    """Validate a ``BENCH_*.json`` payload; raises ``ValueError`` on errors.
+
+    The check is structural only (keys and types), deliberately blind to the
+    timing values themselves: CI runs it on shared machines whose timings are
+    noisy, so the smoke job must fail on schema regressions, never on noise.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be a dict, got {type(payload).__name__}")
+    version = payload.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, got {version!r}"
+        )
+    if not isinstance(payload.get("benchmark"), str) or not payload["benchmark"]:
+        raise ValueError("payload needs a non-empty 'benchmark' name")
+    if not isinstance(payload.get("scale"), str):
+        raise ValueError("payload needs a 'scale' string")
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("payload needs a non-empty 'results' list")
+    for position, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            raise ValueError(f"results[{position}] must be a dict")
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            raise ValueError(f"results[{position}] needs a non-empty 'name'")
+        for field in ("mean_ms", "min_ms"):
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise ValueError(f"results[{position}].{field} must be a non-negative number")
+        repeats = entry.get("repeats")
+        if not isinstance(repeats, int) or isinstance(repeats, bool) or repeats < 1:
+            raise ValueError(f"results[{position}].repeats must be a positive integer")
+    baseline = payload.get("baseline")
+    if baseline is not None:
+        if not isinstance(baseline, dict) or not isinstance(baseline.get("source"), str):
+            raise ValueError("'baseline', when present, must be a dict with a 'source' string")
+    speedup = payload.get("speedup_vs_baseline")
+    if speedup is not None and (
+        not isinstance(speedup, (int, float)) or isinstance(speedup, bool) or speedup <= 0
+    ):
+        raise ValueError("'speedup_vs_baseline', when present, must be a positive number")
+
+
+def write_bench_json(path: "str | Path", payload: dict) -> None:
+    """Validate ``payload`` and write it as pretty-printed JSON."""
+    validate_bench_payload(payload)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -72,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--backend", default="dd", choices=["dd", "dense"])
     verify.add_argument("--tolerance", type=float, default=1e-7)
     verify.add_argument(
+        "--dense-cutoff",
+        type=int,
+        default=0,
+        metavar="K",
+        help=(
+            "evaluate DD subtrees below level K as dense numpy blocks "
+            "(hybrid kernels; 0 disables)"
+        ),
+    )
+    verify.add_argument(
         "--portfolio",
         default=None,
         metavar="CHECKERS",
@@ -107,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--backend", default="dd", choices=["dd", "dense"])
     batch.add_argument("--tolerance", type=float, default=1e-7)
+    batch.add_argument(
+        "--dense-cutoff",
+        type=int,
+        default=0,
+        metavar="K",
+        help="hybrid dense-subtree cutoff of the DD kernels (0 disables)",
+    )
     batch.add_argument("--max-workers", type=int, default=4)
     batch.add_argument(
         "--executor",
@@ -229,6 +246,7 @@ def _command_verify(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         backend=args.backend,
         tolerance=args.tolerance,
+        dense_cutoff=args.dense_cutoff,
         portfolio=_parse_portfolio(args.portfolio),
         timeout=args.timeout,
         checker_timeout=args.checker_timeout,
@@ -307,6 +325,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         backend=args.backend,
         tolerance=args.tolerance,
+        dense_cutoff=args.dense_cutoff,
         portfolio=_parse_portfolio(args.portfolio),
         timeout=args.timeout,
         checker_timeout=args.checker_timeout,

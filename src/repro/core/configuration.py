@@ -55,6 +55,15 @@ class Configuration:
         first.  ``None`` (the default) keeps the caches unbounded, which is
         fine for one-shot checks; long-lived worker processes should set a
         bound so their packages do not grow without limit.
+    dense_cutoff:
+        Hybrid dense-subtree cutoff of the DD kernels: sub-diagrams rooted
+        strictly below this level are evaluated as dense numpy blocks
+        (memoized per node) and re-imported through the normal normalizing
+        node construction.  ``0`` disables the hybrid path; small positive
+        values (4-8) trade an exponential-in-cutoff amount of per-subtree
+        memory for far fewer Python-level recursion steps on the lowest
+        levels.  Verdicts are unchanged either way — the dense path computes
+        the same sums/products and lands in the same unique table.
     portfolio:
         Checker methods run by the
         :class:`~repro.core.manager.EquivalenceCheckingManager` (a subset of
@@ -93,6 +102,7 @@ class Configuration:
     seed: int | None = None
     gate_cache: bool = True
     gate_cache_size: int | None = None
+    dense_cutoff: int = 0
     portfolio: tuple[str, ...] | None = None
     timeout: float | None = None
     checker_timeout: float | None = None
@@ -147,6 +157,8 @@ class Configuration:
             raise EquivalenceCheckingError("batch_chunk_size must be at least 1")
         if self.gate_cache_size is not None and self.gate_cache_size < 1:
             raise EquivalenceCheckingError("gate_cache_size must be at least 1 (or None)")
+        if self.dense_cutoff < 0:
+            raise EquivalenceCheckingError("dense_cutoff must be non-negative (0 disables)")
 
     def updated(self, **overrides) -> "Configuration":
         """Return a copy with the given fields replaced."""

@@ -151,6 +151,7 @@ class EquivalenceChecker:
             num_qubits,
             gate_cache=config.gate_cache,
             gate_cache_size=config.gate_cache_size,
+            dense_cutoff=config.dense_cutoff,
         )
         left, right = self._gate_lists(first, second)
         product = package.identity()
@@ -239,6 +240,7 @@ class EquivalenceChecker:
                 first.num_qubits,
                 gate_cache=config.gate_cache,
                 gate_cache_size=config.gate_cache_size,
+                dense_cutoff=config.dense_cutoff,
             )
             from repro.dd.circuits import circuit_to_unitary_dd
 
@@ -282,6 +284,7 @@ class EquivalenceChecker:
             seed=config.seed,
             gate_cache=config.gate_cache,
             gate_cache_size=config.gate_cache_size,
+            dense_cutoff=config.dense_cutoff,
         )
         criterion = (
             EquivalenceCriterion.PROBABLY_EQUIVALENT

@@ -48,6 +48,7 @@ def run_simulative_check(
     seed: int | None = None,
     gate_cache: bool = True,
     gate_cache_size: int | None = None,
+    dense_cutoff: int = 0,
 ) -> tuple[bool, dict]:
     """Compare two unitary circuits on random stimuli.
 
@@ -70,7 +71,12 @@ def run_simulative_check(
     # One shared package across all stimuli: the circuits' gate DDs are built
     # once and then served from the gate cache on every subsequent run.
     package = (
-        DDPackage(num_qubits, gate_cache=gate_cache, gate_cache_size=gate_cache_size)
+        DDPackage(
+            num_qubits,
+            gate_cache=gate_cache,
+            gate_cache_size=gate_cache_size,
+            dense_cutoff=dense_cutoff,
+        )
         if backend == "dd"
         else None
     )

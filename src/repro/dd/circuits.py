@@ -84,6 +84,9 @@ def instruction_to_dd(package: DDPackage, instruction: Instruction) -> MEdge:
         return cached
     result = gate_to_dd(package, gate, instruction.qubits)
     package.gate_cache_store(key, result)
+    # The cached edge is shared verbatim on every later lookup: DD edges are
+    # immutable flyweights hash-consed within their package (see the
+    # edge-factory invariants in repro.dd.package), so no copy is needed.
     return result
 
 
@@ -97,9 +100,9 @@ def circuit_to_unitary_dd(package: DDPackage, circuit: QuantumCircuit) -> MEdge:
             f"circuit has {circuit.num_qubits} qubits, package has {package.num_qubits}"
         )
     unitary = package.identity()
+    multiply = package.multiply_matrices
     for instruction in circuit.remove_final_measurements().gate_instructions():
-        gate_dd = instruction_to_dd(package, instruction)
-        unitary = package.multiply_matrices(gate_dd, unitary)
+        unitary = multiply(instruction_to_dd(package, instruction), unitary)
     return unitary
 
 

@@ -14,25 +14,31 @@ from __future__ import annotations
 
 import cmath
 
-__all__ = ["DEFAULT_TOLERANCE", "ckey", "is_close", "is_one", "is_zero"]
+__all__ = ["DEFAULT_TOLERANCE", "HASH_DECIMALS", "ckey", "is_close", "is_one", "is_zero"]
 
 #: Default numerical tolerance used for weight comparisons and hashing.
 DEFAULT_TOLERANCE = 1e-10
 
-#: Number of decimals used for hashing edge weights.
-_HASH_DECIMALS = 10
+#: Number of decimals used for hashing edge weights.  The hot kernels in
+#: :mod:`repro.dd.package` inline this rounding (``round(w.real, HASH_DECIMALS)
+#: or 0.0``) when assembling unique-table signatures, referencing this
+#: constant so both key spaces stay identical by construction.
+HASH_DECIMALS = 10
+
+# Backwards-compatible private alias.
+_HASH_DECIMALS = HASH_DECIMALS
 
 
 def ckey(value: complex) -> tuple[float, float]:
-    """Hashable key identifying ``value`` up to the hashing tolerance."""
-    real = round(value.real, _HASH_DECIMALS)
-    imag = round(value.imag, _HASH_DECIMALS)
-    # Avoid the -0.0 / +0.0 distinction.
-    if real == 0.0:
-        real = 0.0
-    if imag == 0.0:
-        imag = 0.0
-    return (real, imag)
+    """Hashable key identifying ``value`` up to the hashing tolerance.
+
+    The ``or 0.0`` collapses ``-0.0`` onto ``+0.0`` so the sign of a rounded
+    zero never splits otherwise identical signatures.
+    """
+    return (
+        round(value.real, HASH_DECIMALS) or 0.0,
+        round(value.imag, HASH_DECIMALS) or 0.0,
+    )
 
 
 def is_zero(value: complex, tolerance: float = DEFAULT_TOLERANCE) -> bool:

@@ -3,6 +3,13 @@
 Every recursive DD operation (addition, multiplication, inner product, ...)
 keeps its own compute table so that repeated sub-computations — which occur
 constantly because sub-diagrams are shared — are answered in O(1).
+
+The :meth:`ComputeTable.get` / :meth:`ComputeTable.put` pair is the generic,
+statistics-keeping interface.  The package's hot kernels bypass it and work on
+the underlying dict directly (``table._table.get`` aliased to a local): one
+attribute load plus a dict probe per lookup instead of a method call.  The
+``len``-based sizes reported by :meth:`repro.dd.package.DDPackage.statistics`
+stay exact either way.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ __all__ = ["ComputeTable"]
 
 class ComputeTable:
     """A simple keyed memoization cache with hit statistics."""
+
+    __slots__ = ("name", "_table", "lookups", "hits")
 
     def __init__(self, name: str) -> None:
         self.name = name

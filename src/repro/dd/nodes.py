@@ -10,21 +10,37 @@ Nodes are only ever created through the package's ``make_*`` methods, which
 normalize the successor weights and hash-cons structurally identical nodes in
 a unique table.  Consequently node identity (``is`` / ``id``) doubles as
 structural equality, which the compute tables rely on.
+
+Performance notes
+-----------------
+Edges are deliberately *dumb* flyweight records: ``__init__`` stores the
+weight as-is (no ``complex()`` coercion — callers on the numpy boundary coerce
+once per entry instead of once per edge), and the hot kernels never touch the
+``is_zero`` / ``is_terminal`` properties but inline the ``edge.node is None``
+checks.  The canonical zero and unit terminal edges are module-level
+singletons (:data:`V_ZERO`, :data:`M_ZERO`, :data:`V_ONE`, :data:`M_ONE`);
+since edges are immutable by convention, sharing them is safe and saves an
+allocation per zero branch.  Nodes carry a ``hash`` slot holding the hash of
+the unique-table signature they were interned under (recorded once by
+:meth:`~repro.dd.unique_table.UniqueTable.get_or_create` at creation, when
+the key tuple is at hand anyway); node *identity* remains the equality
+contract.
 """
 
 from __future__ import annotations
 
-__all__ = ["MEdge", "MNode", "VEdge", "VNode"]
+__all__ = ["MEdge", "MNode", "M_ONE", "M_ZERO", "VEdge", "VNode", "V_ONE", "V_ZERO"]
 
 
 class VNode:
     """Vector-DD node for one qubit level."""
 
-    __slots__ = ("index", "edges")
+    __slots__ = ("index", "edges", "hash")
 
-    def __init__(self, index: int, edges: tuple["VEdge", "VEdge"]):
+    def __init__(self, index: int, edges: tuple["VEdge", "VEdge"], hash: int = 0):
         self.index = index
         self.edges = edges
+        self.hash = hash
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VNode(q{self.index})"
@@ -33,11 +49,17 @@ class VNode:
 class MNode:
     """Matrix-DD node for one qubit level."""
 
-    __slots__ = ("index", "edges")
+    __slots__ = ("index", "edges", "hash")
 
-    def __init__(self, index: int, edges: tuple["MEdge", "MEdge", "MEdge", "MEdge"]):
+    def __init__(
+        self,
+        index: int,
+        edges: tuple["MEdge", "MEdge", "MEdge", "MEdge"],
+        hash: int = 0,
+    ):
         self.index = index
         self.edges = edges
+        self.hash = hash
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MNode(q{self.index})"
@@ -50,7 +72,7 @@ class VEdge:
 
     def __init__(self, node: VNode | None, weight: complex):
         self.node = node
-        self.weight = complex(weight)
+        self.weight = weight
 
     @property
     def is_terminal(self) -> bool:
@@ -64,7 +86,7 @@ class VEdge:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         target = "terminal" if self.node is None else f"q{self.node.index}"
-        return f"VEdge({target}, {self.weight:.4g})"
+        return f"VEdge({target}, {complex(self.weight):.4g})"
 
 
 class MEdge:
@@ -74,7 +96,7 @@ class MEdge:
 
     def __init__(self, node: MNode | None, weight: complex):
         self.node = node
-        self.weight = complex(weight)
+        self.weight = weight
 
     @property
     def is_terminal(self) -> bool:
@@ -88,4 +110,14 @@ class MEdge:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         target = "terminal" if self.node is None else f"q{self.node.index}"
-        return f"MEdge({target}, {self.weight:.4g})"
+        return f"MEdge({target}, {complex(self.weight):.4g})"
+
+
+#: Canonical zero-vector edge (shared flyweight; edges are immutable).
+V_ZERO = VEdge(None, 0.0)
+#: Canonical zero-matrix edge (shared flyweight).
+M_ZERO = MEdge(None, 0.0)
+#: Canonical unit terminal vector edge (seed of bottom-up constructions).
+V_ONE = VEdge(None, 1.0)
+#: Canonical unit terminal matrix edge (seed of bottom-up constructions).
+M_ONE = MEdge(None, 1.0)

@@ -15,6 +15,46 @@ Conventions
 * Vector/matrix indices are little-endian: bit ``q`` of an index is qubit ``q``.
 * Matrix node successor ``2*row + column`` corresponds to the node qubit having
   output value ``row`` and input value ``column``.
+
+Edge-factory invariants (performance-critical)
+----------------------------------------------
+The kernels in this module are the hottest code in the repository, so they
+follow a small set of strict conventions:
+
+* Edges are immutable flyweights.  The zero vector/matrix and the unit
+  terminal edge are the module-level singletons
+  :data:`~repro.dd.nodes.V_ZERO` / :data:`~repro.dd.nodes.M_ZERO` /
+  :data:`~repro.dd.nodes.V_ONE` / :data:`~repro.dd.nodes.M_ONE`; kernels
+  return those instead of allocating fresh terminal edges.
+* ``VEdge`` / ``MEdge`` constructors store weights *as-is*.  Values crossing
+  the numpy boundary (``operator_chain``, ``vector_from_numpy``, the dense
+  re-import helpers, ``scale_*``) are coerced to Python ``complex`` once per
+  entry, so downstream arithmetic stays on native complex numbers.
+* Kernels never use the ``is_zero`` / ``is_terminal`` properties; they inline
+  ``edge.node is None`` / ``weight == 0`` checks.
+* Node construction goes through the specialized ``_make_vector_node`` /
+  ``_make_matrix_node`` normalizers, which build the unique-table signature
+  key inline (id + weight rounded to
+  :data:`~repro.dd.complexvalue.HASH_DECIMALS` decimals) in the same loop
+  that normalizes the successor weights; created nodes carry the hash of that
+  key in their ``hash`` slot.
+* Compute-table keys are weight-canonical: multiplication keys carry node ids
+  only (both root weights factor out of the product), addition keys carry the
+  right/left weight *ratio* — so numerically scaled instances of the same
+  structural computation always hit the same entry.
+
+Hybrid dense-subtree cutoff
+---------------------------
+With ``dense_cutoff = k > 0``, recursive arithmetic (add, matrix-vector and
+matrix-matrix multiply) on sub-diagrams rooted strictly below level ``k``
+switches to dense numpy blocks: the operands are expanded (memoized per
+node), combined with one vectorized numpy operation, and the result is
+re-imported through the normal normalizing node construction — so the result
+lands in the same unique table and downstream verdicts are unchanged.  Small
+sub-matrices are exactly where the recursive kernels pay the most Python
+overhead per amplitude, which makes this profitable for the small-register
+Table-1 instances; ``dense_cutoff = 0`` (the default of the raw package)
+disables the hybrid path.
 """
 
 from __future__ import annotations
@@ -25,9 +65,9 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.dd.complexvalue import DEFAULT_TOLERANCE, ckey, is_zero
+from repro.dd.complexvalue import DEFAULT_TOLERANCE, HASH_DECIMALS
 from repro.dd.compute_table import ComputeTable
-from repro.dd.nodes import MEdge, MNode, VEdge, VNode
+from repro.dd.nodes import M_ONE, M_ZERO, MEdge, MNode, V_ONE, V_ZERO, VEdge, VNode
 from repro.dd.unique_table import UniqueTable
 from repro.exceptions import DDError
 
@@ -44,6 +84,9 @@ class DDPackage:
 
     All nodes created through one package share its unique table and compute
     tables; diagrams from different packages must not be mixed.
+
+    ``dense_cutoff`` enables the hybrid dense-subtree kernels for sub-diagrams
+    rooted below that level (see the module docstring); ``0`` disables them.
     """
 
     def __init__(
@@ -52,13 +95,17 @@ class DDPackage:
         tolerance: float = DEFAULT_TOLERANCE,
         gate_cache: bool = True,
         gate_cache_size: int | None = None,
+        dense_cutoff: int = 0,
     ):
         if num_qubits < 1:
             raise DDError("a DD package needs at least one qubit")
         if gate_cache_size is not None and gate_cache_size < 1:
             raise DDError("gate_cache_size must be at least 1 (or None for unbounded)")
+        if dense_cutoff < 0:
+            raise DDError("dense_cutoff must be non-negative (0 disables the hybrid kernels)")
         self.num_qubits = num_qubits
         self.tolerance = tolerance
+        self.dense_cutoff = dense_cutoff
         self._vector_table: UniqueTable[VNode] = UniqueTable()
         self._matrix_table: UniqueTable[MNode] = UniqueTable()
         self._add_v = ComputeTable("vector-add")
@@ -68,6 +115,11 @@ class DDPackage:
         self._inner = ComputeTable("inner-product")
         self._norm = ComputeTable("norm-squared")
         self._max_entry = ComputeTable("max-entry")
+        self._trace = ComputeTable("trace")
+        # Dense expansions of sub-diagram nodes (weight-1 root), keyed by node
+        # id; only populated when ``dense_cutoff > 0``.
+        self._dense_v_cache: dict[int, np.ndarray] = {}
+        self._dense_m_cache: dict[int, np.ndarray] = {}
         self.gate_cache_enabled = gate_cache
         # Both memoization caches are LRU-ordered: a hit refreshes the entry,
         # a store beyond ``gate_cache_size`` evicts the least recently used
@@ -93,44 +145,148 @@ class DDPackage:
 
     @staticmethod
     def zero_vector_edge() -> VEdge:
-        """The zero vector."""
-        return VEdge(None, 0.0)
+        """The zero vector (canonical shared edge)."""
+        return V_ZERO
 
     @staticmethod
     def zero_matrix_edge() -> MEdge:
-        """The zero matrix."""
-        return MEdge(None, 0.0)
+        """The zero matrix (canonical shared edge)."""
+        return M_ZERO
 
     def make_vector_node(self, index: int, edges: Sequence[VEdge]) -> VEdge:
         """Create (or reuse) a normalized vector node and return an edge to it."""
         edges = tuple(edges)
         if len(edges) != 2:
             raise DDError(f"vector nodes have 2 successors, got {len(edges)}")
-        return self._normalize_and_store(index, edges, self._vector_table, VNode, VEdge)
+        return self._make_vector_node(index, edges[0], edges[1])
 
     def make_matrix_node(self, index: int, edges: Sequence[MEdge]) -> MEdge:
         """Create (or reuse) a normalized matrix node and return an edge to it."""
         edges = tuple(edges)
         if len(edges) != 4:
             raise DDError(f"matrix nodes have 4 successors, got {len(edges)}")
-        return self._normalize_and_store(index, edges, self._matrix_table, MNode, MEdge)
+        return self._make_matrix_node(index, edges[0], edges[1], edges[2], edges[3])
 
-    def _normalize_and_store(self, index, edges, table, node_cls, edge_cls):
-        weights = [edge.weight for edge in edges]
-        magnitudes = [abs(w) for w in weights]
-        largest = max(magnitudes)
-        if is_zero(largest, self.tolerance):
-            return edge_cls(None, 0.0)
-        pivot = magnitudes.index(largest)
-        factor = weights[pivot]
-        normalized = []
-        for edge in edges:
-            if is_zero(edge.weight, self.tolerance):
-                normalized.append(edge_cls(None, 0.0))
-            else:
-                normalized.append(edge_cls(edge.node, edge.weight / factor))
-        node = table.lookup(index, normalized, lambda idx, succ: node_cls(idx, tuple(succ)))
-        return edge_cls(node, factor)
+    def _make_vector_node(self, index: int, e0: VEdge, e1: VEdge) -> VEdge:
+        """Normalize two successor edges and hash-cons the resulting node.
+
+        The unique-table signature ``(index, id, re, im, id, re, im)`` is
+        assembled in the same pass that normalizes the weights; the pivot is
+        the first successor of maximal magnitude and becomes the returned
+        edge's weight.
+        """
+        tol = self.tolerance
+        w0 = e0.weight
+        w1 = e1.weight
+        a0 = abs(w0)
+        a1 = abs(w1)
+        if a0 >= a1:
+            largest = a0
+            pivot = w0
+        else:
+            largest = a1
+            pivot = w1
+        if largest <= tol:
+            return V_ZERO
+        if -tol <= w0.real <= tol and -tol <= w0.imag <= tol:
+            n0 = V_ZERO
+            k0 = 0
+            kr0 = 0.0
+            ki0 = 0.0
+        else:
+            nw = w0 / pivot
+            n0 = VEdge(e0.node, nw)
+            k0 = id(e0.node) if e0.node is not None else 0
+            kr0 = round(nw.real, HASH_DECIMALS) or 0.0
+            ki0 = round(nw.imag, HASH_DECIMALS) or 0.0
+        if -tol <= w1.real <= tol and -tol <= w1.imag <= tol:
+            n1 = V_ZERO
+            k1 = 0
+            kr1 = 0.0
+            ki1 = 0.0
+        else:
+            nw = w1 / pivot
+            n1 = VEdge(e1.node, nw)
+            k1 = id(e1.node) if e1.node is not None else 0
+            kr1 = round(nw.real, HASH_DECIMALS) or 0.0
+            ki1 = round(nw.imag, HASH_DECIMALS) or 0.0
+        key = (index, k0, kr0, ki0, k1, kr1, ki1)
+        node = self._vector_table.get_or_create(key, index, (n0, n1), VNode)
+        return VEdge(node, pivot)
+
+    def _make_matrix_node(
+        self, index: int, e0: MEdge, e1: MEdge, e2: MEdge, e3: MEdge
+    ) -> MEdge:
+        """Four-successor counterpart of :meth:`_make_vector_node`."""
+        tol = self.tolerance
+        w0 = e0.weight
+        w1 = e1.weight
+        w2 = e2.weight
+        w3 = e3.weight
+        a0 = abs(w0)
+        a1 = abs(w1)
+        a2 = abs(w2)
+        a3 = abs(w3)
+        largest = a0
+        pivot = w0
+        if a1 > largest:
+            largest = a1
+            pivot = w1
+        if a2 > largest:
+            largest = a2
+            pivot = w2
+        if a3 > largest:
+            largest = a3
+            pivot = w3
+        if largest <= tol:
+            return M_ZERO
+        if -tol <= w0.real <= tol and -tol <= w0.imag <= tol:
+            n0 = M_ZERO
+            k0 = 0
+            kr0 = 0.0
+            ki0 = 0.0
+        else:
+            nw = w0 / pivot
+            n0 = MEdge(e0.node, nw)
+            k0 = id(e0.node) if e0.node is not None else 0
+            kr0 = round(nw.real, HASH_DECIMALS) or 0.0
+            ki0 = round(nw.imag, HASH_DECIMALS) or 0.0
+        if -tol <= w1.real <= tol and -tol <= w1.imag <= tol:
+            n1 = M_ZERO
+            k1 = 0
+            kr1 = 0.0
+            ki1 = 0.0
+        else:
+            nw = w1 / pivot
+            n1 = MEdge(e1.node, nw)
+            k1 = id(e1.node) if e1.node is not None else 0
+            kr1 = round(nw.real, HASH_DECIMALS) or 0.0
+            ki1 = round(nw.imag, HASH_DECIMALS) or 0.0
+        if -tol <= w2.real <= tol and -tol <= w2.imag <= tol:
+            n2 = M_ZERO
+            k2 = 0
+            kr2 = 0.0
+            ki2 = 0.0
+        else:
+            nw = w2 / pivot
+            n2 = MEdge(e2.node, nw)
+            k2 = id(e2.node) if e2.node is not None else 0
+            kr2 = round(nw.real, HASH_DECIMALS) or 0.0
+            ki2 = round(nw.imag, HASH_DECIMALS) or 0.0
+        if -tol <= w3.real <= tol and -tol <= w3.imag <= tol:
+            n3 = M_ZERO
+            k3 = 0
+            kr3 = 0.0
+            ki3 = 0.0
+        else:
+            nw = w3 / pivot
+            n3 = MEdge(e3.node, nw)
+            k3 = id(e3.node) if e3.node is not None else 0
+            kr3 = round(nw.real, HASH_DECIMALS) or 0.0
+            ki3 = round(nw.imag, HASH_DECIMALS) or 0.0
+        key = (index, k0, kr0, ki0, k1, kr1, ki1, k2, kr2, ki2, k3, kr3, ki3)
+        node = self._matrix_table.get_or_create(key, index, (n0, n1, n2, n3), MNode)
+        return MEdge(node, pivot)
 
     # ------------------------------------------------------------------
     # state construction
@@ -141,7 +297,10 @@ class DDPackage:
         return self.basis_state(0)
 
     def basis_state(self, value: "int | Sequence[int]") -> VEdge:
-        """A computational basis state given as an integer or per-qubit bits."""
+        """A computational basis state given as an integer or per-qubit bits.
+
+        Per-qubit bit sequences must consist of 0/1 values only.
+        """
         if isinstance(value, int):
             if not 0 <= value < (1 << self.num_qubits):
                 raise DDError(f"basis state {value} out of range for {self.num_qubits} qubits")
@@ -152,13 +311,17 @@ class DDPackage:
                 raise DDError(
                     f"expected {self.num_qubits} bits, got {len(bits)}"
                 )
-        edge = VEdge(None, 1.0)
+            for position, bit in enumerate(bits):
+                if bit not in (0, 1):
+                    raise DDError(
+                        f"basis-state bit for qubit {position} must be 0 or 1, got {bit!r}"
+                    )
+        edge = V_ONE
         for qubit in range(self.num_qubits):
             if bits[qubit]:
-                children = (self.zero_vector_edge(), edge)
+                edge = self._make_vector_node(qubit, V_ZERO, edge)
             else:
-                children = (edge, self.zero_vector_edge())
-            edge = self.make_vector_node(qubit, children)
+                edge = self._make_vector_node(qubit, edge, V_ZERO)
         return edge
 
     def vector_from_numpy(self, amplitudes: np.ndarray) -> VEdge:
@@ -172,11 +335,11 @@ class DDPackage:
 
         def build(offset: int, level: int) -> VEdge:
             if level < 0:
-                return VEdge(None, amplitudes[offset])
+                return VEdge(None, complex(amplitudes[offset]))
             half = 1 << level
             low = build(offset, level - 1)
             high = build(offset + half, level - 1)
-            return self.make_vector_node(level, (low, high))
+            return self._make_vector_node(level, low, high)
 
         return build(0, self.num_qubits - 1)
 
@@ -212,18 +375,27 @@ class DDPackage:
         return edge
 
     def _build_operator_chain(self, operators: Mapping[int, np.ndarray]) -> MEdge:
-        edge = MEdge(None, 1.0)
+        edge = M_ONE
+        make = self._make_matrix_node
+        get = operators.get
         for qubit in range(self.num_qubits):
-            matrix = operators.get(qubit, _ID2)
+            matrix = get(qubit)
+            node = edge.node
+            weight = edge.weight
+            if matrix is None:
+                # Identity level: diagonal successors share the chain so far.
+                diagonal = MEdge(node, weight)
+                edge = make(qubit, diagonal, M_ZERO, M_ZERO, diagonal)
+                continue
             if matrix.shape != (2, 2):
                 raise DDError(f"operator for qubit {qubit} must be 2x2, got {matrix.shape}")
-            children = (
-                MEdge(edge.node, edge.weight * matrix[0, 0]),
-                MEdge(edge.node, edge.weight * matrix[0, 1]),
-                MEdge(edge.node, edge.weight * matrix[1, 0]),
-                MEdge(edge.node, edge.weight * matrix[1, 1]),
+            edge = make(
+                qubit,
+                MEdge(node, weight * complex(matrix[0, 0])),
+                MEdge(node, weight * complex(matrix[0, 1])),
+                MEdge(node, weight * complex(matrix[1, 0])),
+                MEdge(node, weight * complex(matrix[1, 1])),
             )
-            edge = self.make_matrix_node(qubit, children)
         return edge
 
     def controlled_gate(
@@ -263,16 +435,16 @@ class DDPackage:
     @staticmethod
     def scale_matrix(edge: MEdge, factor: complex) -> MEdge:
         """Multiply a matrix DD by a scalar."""
-        if edge.is_zero or factor == 0:
-            return MEdge(None, 0.0)
-        return MEdge(edge.node, edge.weight * factor)
+        if factor == 0 or (edge.node is None and edge.weight == 0):
+            return M_ZERO
+        return MEdge(edge.node, edge.weight * complex(factor))
 
     @staticmethod
     def scale_vector(edge: VEdge, factor: complex) -> VEdge:
         """Multiply a vector DD by a scalar."""
-        if edge.is_zero or factor == 0:
-            return VEdge(None, 0.0)
-        return VEdge(edge.node, edge.weight * factor)
+        if factor == 0 or (edge.node is None and edge.weight == 0):
+            return V_ZERO
+        return VEdge(edge.node, edge.weight * complex(factor))
 
     # ------------------------------------------------------------------
     # arithmetic
@@ -280,102 +452,277 @@ class DDPackage:
 
     def add_vectors(self, left: VEdge, right: VEdge) -> VEdge:
         """Element-wise sum of two vector DDs."""
-        return self._add(left, right, self._add_v, self.make_vector_node, VEdge, 2)
+        return self._add_v_rec(left, right)
 
     def add_matrices(self, left: MEdge, right: MEdge) -> MEdge:
         """Element-wise sum of two matrix DDs."""
-        return self._add(left, right, self._add_m, self.make_matrix_node, MEdge, 4)
+        return self._add_m_rec(left, right)
 
-    def _add(self, left, right, table, make_node, edge_cls, arity):
-        if left.is_zero:
+    def _add_v_rec(self, left: VEdge, right: VEdge) -> VEdge:
+        """Recursive vector addition.
+
+        The compute-table key is weight-canonical: it carries the
+        right-to-left weight *ratio*, so any pair of identically-structured
+        operands hits the same entry regardless of absolute scale.
+        """
+        lnode = left.node
+        lweight = left.weight
+        if lnode is None and lweight == 0:
             return right
-        if right.is_zero:
+        rnode = right.node
+        rweight = right.weight
+        if rnode is None and rweight == 0:
             return left
-        if left.is_terminal and right.is_terminal:
-            return edge_cls(None, left.weight + right.weight)
-        if left.is_terminal or right.is_terminal:
+        if lnode is None or rnode is None:
+            if lnode is None and rnode is None:
+                return VEdge(None, lweight + rweight)
             raise DDError("cannot add diagrams of different depth")
-        if left.node.index != right.node.index:
+        index = lnode.index
+        if index != rnode.index:
             raise DDError(
                 f"cannot add diagrams rooted at different levels "
-                f"({left.node.index} vs {right.node.index})"
+                f"({index} vs {rnode.index})"
             )
-        ratio = right.weight / left.weight
-        key = (id(left.node), id(right.node), ckey(ratio))
+        ratio = rweight / lweight
+        key = (id(lnode), id(rnode), round(ratio.real, HASH_DECIMALS) or 0.0, round(ratio.imag, HASH_DECIMALS) or 0.0)
+        table = self._add_v._table
         cached = table.get(key)
-        if cached is not None:
-            return edge_cls(cached.node, cached.weight * left.weight)
-        children = []
-        for branch in range(arity):
-            left_child = left.node.edges[branch]
-            right_child = right.node.edges[branch]
-            scaled_right = edge_cls(right_child.node, right_child.weight * ratio)
-            children.append(self._add(left_child, scaled_right, table, make_node, edge_cls, arity))
-        relative = make_node(left.node.index, children)
-        table.put(key, relative)
-        return edge_cls(relative.node, relative.weight * left.weight)
+        if cached is None:
+            if index < self.dense_cutoff:
+                dense = self._node_dense_v(lnode) + ratio * self._node_dense_v(rnode)
+                cached = self._vector_from_dense(dense, index)
+            else:
+                ledges = lnode.edges
+                redges = rnode.edges
+                r0 = redges[0]
+                r1 = redges[1]
+                cached = self._make_vector_node(
+                    index,
+                    self._add_v_rec(ledges[0], VEdge(r0.node, r0.weight * ratio)),
+                    self._add_v_rec(ledges[1], VEdge(r1.node, r1.weight * ratio)),
+                )
+            table[key] = cached
+        return VEdge(cached.node, cached.weight * lweight)
+
+    def _add_m_rec(self, left: MEdge, right: MEdge) -> MEdge:
+        """Recursive matrix addition (see :meth:`_add_v_rec`)."""
+        lnode = left.node
+        lweight = left.weight
+        if lnode is None and lweight == 0:
+            return right
+        rnode = right.node
+        rweight = right.weight
+        if rnode is None and rweight == 0:
+            return left
+        if lnode is None or rnode is None:
+            if lnode is None and rnode is None:
+                return MEdge(None, lweight + rweight)
+            raise DDError("cannot add diagrams of different depth")
+        index = lnode.index
+        if index != rnode.index:
+            raise DDError(
+                f"cannot add diagrams rooted at different levels "
+                f"({index} vs {rnode.index})"
+            )
+        ratio = rweight / lweight
+        key = (id(lnode), id(rnode), round(ratio.real, HASH_DECIMALS) or 0.0, round(ratio.imag, HASH_DECIMALS) or 0.0)
+        table = self._add_m._table
+        cached = table.get(key)
+        if cached is None:
+            if index < self.dense_cutoff:
+                dense = self._node_dense_m(lnode) + ratio * self._node_dense_m(rnode)
+                cached = self._matrix_from_dense(dense, index)
+            else:
+                ledges = lnode.edges
+                redges = rnode.edges
+                r0 = redges[0]
+                r1 = redges[1]
+                r2 = redges[2]
+                r3 = redges[3]
+                cached = self._make_matrix_node(
+                    index,
+                    self._add_m_rec(ledges[0], MEdge(r0.node, r0.weight * ratio)),
+                    self._add_m_rec(ledges[1], MEdge(r1.node, r1.weight * ratio)),
+                    self._add_m_rec(ledges[2], MEdge(r2.node, r2.weight * ratio)),
+                    self._add_m_rec(ledges[3], MEdge(r3.node, r3.weight * ratio)),
+                )
+            table[key] = cached
+        return MEdge(cached.node, cached.weight * lweight)
 
     def multiply_matrix_vector(self, matrix: MEdge, vector: VEdge) -> VEdge:
-        """Apply a matrix DD to a vector DD."""
-        if matrix.is_zero or vector.is_zero:
-            return VEdge(None, 0.0)
-        if matrix.is_terminal and vector.is_terminal:
-            return VEdge(None, matrix.weight * vector.weight)
-        if matrix.is_terminal or vector.is_terminal:
+        """Apply a matrix DD to a vector DD.
+
+        The compute-table key carries node ids only — both root weights factor
+        out of the product, so the key is fully weight-canonical.
+        """
+        mnode = matrix.node
+        mweight = matrix.weight
+        if mnode is None and mweight == 0:
+            return V_ZERO
+        vnode = vector.node
+        vweight = vector.weight
+        if vnode is None and vweight == 0:
+            return V_ZERO
+        if mnode is None or vnode is None:
+            if mnode is None and vnode is None:
+                return VEdge(None, mweight * vweight)
             raise DDError("matrix and vector diagrams must have the same depth")
-        if matrix.node.index != vector.node.index:
+        index = mnode.index
+        if index != vnode.index:
             raise DDError(
-                f"matrix level {matrix.node.index} does not match vector level "
-                f"{vector.node.index}"
+                f"matrix level {index} does not match vector level "
+                f"{vnode.index}"
             )
-        factor = matrix.weight * vector.weight
-        key = (id(matrix.node), id(vector.node))
-        cached = self._mult_mv.get(key)
+        key = (id(mnode), id(vnode))
+        table = self._mult_mv._table
+        cached = table.get(key)
         if cached is None:
-            children = []
-            for row in range(2):
-                total = self.zero_vector_edge()
-                for column in range(2):
-                    product = self.multiply_matrix_vector(
-                        matrix.node.edges[2 * row + column], vector.node.edges[column]
-                    )
-                    total = self.add_vectors(total, product)
-                children.append(total)
-            cached = self.make_vector_node(matrix.node.index, children)
-            self._mult_mv.put(key, cached)
-        return VEdge(cached.node, cached.weight * factor)
+            if index < self.dense_cutoff:
+                dense = self._node_dense_m(mnode) @ self._node_dense_v(vnode)
+                cached = self._vector_from_dense(dense, index)
+            else:
+                medges = mnode.edges
+                vedges = vnode.edges
+                v0 = vedges[0]
+                v1 = vedges[1]
+                multiply = self.multiply_matrix_vector
+                cached = self._make_vector_node(
+                    index,
+                    self._add_v_rec(multiply(medges[0], v0), multiply(medges[1], v1)),
+                    self._add_v_rec(multiply(medges[2], v0), multiply(medges[3], v1)),
+                )
+            table[key] = cached
+        return VEdge(cached.node, cached.weight * (mweight * vweight))
 
     def multiply_matrices(self, left: MEdge, right: MEdge) -> MEdge:
-        """Matrix product ``left @ right`` of two matrix DDs."""
-        if left.is_zero or right.is_zero:
-            return MEdge(None, 0.0)
-        if left.is_terminal and right.is_terminal:
-            return MEdge(None, left.weight * right.weight)
-        if left.is_terminal or right.is_terminal:
+        """Matrix product ``left @ right`` of two matrix DDs.
+
+        Keyed like :meth:`multiply_matrix_vector` (node ids only; weights
+        factor out).
+        """
+        lnode = left.node
+        lweight = left.weight
+        if lnode is None and lweight == 0:
+            return M_ZERO
+        rnode = right.node
+        rweight = right.weight
+        if rnode is None and rweight == 0:
+            return M_ZERO
+        if lnode is None or rnode is None:
+            if lnode is None and rnode is None:
+                return MEdge(None, lweight * rweight)
             raise DDError("matrix diagrams must have the same depth")
-        if left.node.index != right.node.index:
+        index = lnode.index
+        if index != rnode.index:
             raise DDError(
                 f"cannot multiply diagrams rooted at different levels "
-                f"({left.node.index} vs {right.node.index})"
+                f"({index} vs {rnode.index})"
             )
-        factor = left.weight * right.weight
-        key = (id(left.node), id(right.node))
-        cached = self._mult_mm.get(key)
+        key = (id(lnode), id(rnode))
+        table = self._mult_mm._table
+        cached = table.get(key)
         if cached is None:
-            children = []
-            for row in range(2):
-                for column in range(2):
-                    total = self.zero_matrix_edge()
-                    for middle in range(2):
-                        product = self.multiply_matrices(
-                            left.node.edges[2 * row + middle],
-                            right.node.edges[2 * middle + column],
-                        )
-                        total = self.add_matrices(total, product)
-                    children.append(total)
-            cached = self.make_matrix_node(left.node.index, children)
-            self._mult_mm.put(key, cached)
-        return MEdge(cached.node, cached.weight * factor)
+            if index < self.dense_cutoff:
+                dense = self._node_dense_m(lnode) @ self._node_dense_m(rnode)
+                cached = self._matrix_from_dense(dense, index)
+            else:
+                ledges = lnode.edges
+                redges = rnode.edges
+                l0 = ledges[0]
+                l1 = ledges[1]
+                l2 = ledges[2]
+                l3 = ledges[3]
+                r0 = redges[0]
+                r1 = redges[1]
+                r2 = redges[2]
+                r3 = redges[3]
+                multiply = self.multiply_matrices
+                add = self._add_m_rec
+                cached = self._make_matrix_node(
+                    index,
+                    add(multiply(l0, r0), multiply(l1, r2)),
+                    add(multiply(l0, r1), multiply(l1, r3)),
+                    add(multiply(l2, r0), multiply(l3, r2)),
+                    add(multiply(l2, r1), multiply(l3, r3)),
+                )
+            table[key] = cached
+        return MEdge(cached.node, cached.weight * (lweight * rweight))
+
+    # ------------------------------------------------------------------
+    # hybrid dense-subtree kernels
+    # ------------------------------------------------------------------
+
+    def _node_dense_v(self, node: VNode) -> np.ndarray:
+        """Dense amplitudes of ``node``'s subtree (root weight 1), memoized."""
+        cache = self._dense_v_cache
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+        index = node.index
+        size = 1 << index
+        array = np.zeros(2 * size, dtype=complex)
+        for slot, edge in enumerate(node.edges):
+            child = edge.node
+            if child is not None:
+                array[slot * size : (slot + 1) * size] = edge.weight * self._node_dense_v(child)
+            elif edge.weight != 0:
+                if index != 0:
+                    raise DDError("dense evaluation requires fully-leveled diagrams")
+                array[slot] = edge.weight
+        cache[id(node)] = array
+        return array
+
+    def _node_dense_m(self, node: MNode) -> np.ndarray:
+        """Dense matrix of ``node``'s subtree (root weight 1), memoized."""
+        cache = self._dense_m_cache
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+        index = node.index
+        size = 1 << index
+        array = np.zeros((2 * size, 2 * size), dtype=complex)
+        for slot, edge in enumerate(node.edges):
+            child = edge.node
+            row = (slot >> 1) * size
+            column = (slot & 1) * size
+            if child is not None:
+                array[row : row + size, column : column + size] = (
+                    edge.weight * self._node_dense_m(child)
+                )
+            elif edge.weight != 0:
+                if index != 0:
+                    raise DDError("dense evaluation requires fully-leveled diagrams")
+                array[row, column] = edge.weight
+        cache[id(node)] = array
+        return array
+
+    def _vector_from_dense(self, array: np.ndarray, level: int) -> VEdge:
+        """Re-import a dense block as a (normalized, hash-consed) vector DD."""
+        if level < 0:
+            return VEdge(None, complex(array[0]))
+        if not array.any():
+            return V_ZERO
+        half = 1 << level
+        return self._make_vector_node(
+            level,
+            self._vector_from_dense(array[:half], level - 1),
+            self._vector_from_dense(array[half:], level - 1),
+        )
+
+    def _matrix_from_dense(self, array: np.ndarray, level: int) -> MEdge:
+        """Re-import a dense block as a (normalized, hash-consed) matrix DD."""
+        if level < 0:
+            return MEdge(None, complex(array[0, 0]))
+        if not array.any():
+            return M_ZERO
+        half = 1 << level
+        return self._make_matrix_node(
+            level,
+            self._matrix_from_dense(array[:half, :half], level - 1),
+            self._matrix_from_dense(array[:half, half:], level - 1),
+            self._matrix_from_dense(array[half:, :half], level - 1),
+            self._matrix_from_dense(array[half:, half:], level - 1),
+        )
 
     # ------------------------------------------------------------------
     # inner products, norms, probabilities
@@ -383,22 +730,27 @@ class DDPackage:
 
     def inner_product(self, left: VEdge, right: VEdge) -> complex:
         """Return ``<left|right>``."""
-        if left.is_zero or right.is_zero:
+        lnode = left.node
+        if lnode is None and left.weight == 0:
             return 0.0
-        if left.is_terminal and right.is_terminal:
-            return left.weight.conjugate() * right.weight
-        if left.is_terminal or right.is_terminal:
+        rnode = right.node
+        if rnode is None and right.weight == 0:
+            return 0.0
+        if lnode is None or rnode is None:
+            if lnode is None and rnode is None:
+                return left.weight.conjugate() * right.weight
             raise DDError("states must have the same number of qubits")
-        if left.node.index != right.node.index:
+        if lnode.index != rnode.index:
             raise DDError("states must be rooted at the same level")
-        key = (id(left.node), id(right.node))
-        cached = self._inner.get(key)
+        key = (id(lnode), id(rnode))
+        table = self._inner._table
+        cached = table.get(key)
         if cached is None:
             cached = sum(
-                self.inner_product(left.node.edges[branch], right.node.edges[branch])
+                self.inner_product(lnode.edges[branch], rnode.edges[branch])
                 for branch in range(2)
             )
-            self._inner.put(key, cached)
+            table[key] = cached
         return left.weight.conjugate() * right.weight * cached
 
     def fidelity(self, left: VEdge, right: VEdge) -> float:
@@ -407,32 +759,45 @@ class DDPackage:
 
     def norm_squared(self, vector: VEdge) -> float:
         """Squared Euclidean norm of a vector DD."""
-        if vector.is_zero:
-            return 0.0
-        if vector.is_terminal:
-            return abs(vector.weight) ** 2
-        key = id(vector.node)
-        cached = self._norm.get(key)
+        node = vector.node
+        if node is None:
+            weight = vector.weight
+            return 0.0 if weight == 0 else abs(weight) ** 2
+        key = id(node)
+        table = self._norm._table
+        cached = table.get(key)
         if cached is None:
-            cached = sum(self.norm_squared(edge) for edge in vector.node.edges)
-            self._norm.put(key, cached)
+            cached = sum(self.norm_squared(edge) for edge in node.edges)
+            table[key] = cached
         return abs(vector.weight) ** 2 * cached
 
     def probability_of_one(self, vector: VEdge, qubit: int) -> float:
-        """Probability that measuring ``qubit`` of ``vector`` yields 1."""
+        """Probability that measuring ``qubit`` of ``vector`` yields 1.
+
+        Shared nodes above the target qubit are visited once (per-call memo),
+        not once per path.
+        """
         if not 0 <= qubit < self.num_qubits:
             raise DDError(f"qubit {qubit} out of range")
+        memo: dict[int, float] = {}
 
         def recurse(edge: VEdge) -> float:
-            if edge.is_zero:
-                return 0.0
-            if edge.is_terminal or edge.node.index < qubit:
+            node = edge.node
+            if node is None:
+                if edge.weight == 0:
+                    return 0.0
                 raise DDError("vector does not cover the requested qubit")
-            if edge.node.index == qubit:
-                return abs(edge.weight) ** 2 * self.norm_squared(edge.node.edges[1])
-            return abs(edge.weight) ** 2 * (
-                recurse(edge.node.edges[0]) + recurse(edge.node.edges[1])
-            )
+            if node.index < qubit:
+                raise DDError("vector does not cover the requested qubit")
+            key = id(node)
+            relative = memo.get(key)
+            if relative is None:
+                if node.index == qubit:
+                    relative = self.norm_squared(node.edges[1])
+                else:
+                    relative = recurse(node.edges[0]) + recurse(node.edges[1])
+                memo[key] = relative
+            return abs(edge.weight) ** 2 * relative
 
         return recurse(vector)
 
@@ -472,26 +837,37 @@ class DDPackage:
     # ------------------------------------------------------------------
 
     def trace(self, matrix: MEdge) -> complex:
-        """Trace of a matrix DD over the full register."""
-        if matrix.is_zero:
-            return 0.0
-        if matrix.is_terminal:
-            return matrix.weight
-        return matrix.weight * (
-            self.trace(matrix.node.edges[0]) + self.trace(matrix.node.edges[3])
-        )
+        """Trace of a matrix DD over the full register.
+
+        Memoized per node, so diagrams with heavy sharing (e.g. the identity)
+        are traced in time linear in their node count rather than exponential
+        in the number of qubits.
+        """
+        node = matrix.node
+        if node is None:
+            weight = matrix.weight
+            return 0.0 if weight == 0 else weight
+        key = id(node)
+        table = self._trace._table
+        cached = table.get(key)
+        if cached is None:
+            edges = node.edges
+            cached = self.trace(edges[0]) + self.trace(edges[3])
+            table[key] = cached
+        return matrix.weight * cached
 
     def max_entry_magnitude(self, matrix: MEdge) -> float:
         """Largest absolute value of any entry of the represented matrix."""
-        if matrix.is_zero:
-            return 0.0
-        if matrix.is_terminal:
-            return abs(matrix.weight)
-        key = id(matrix.node)
-        cached = self._max_entry.get(key)
+        node = matrix.node
+        if node is None:
+            weight = matrix.weight
+            return 0.0 if weight == 0 else abs(weight)
+        key = id(node)
+        table = self._max_entry._table
+        cached = table.get(key)
         if cached is None:
-            cached = max(self.max_entry_magnitude(edge) for edge in matrix.node.edges)
-            self._max_entry.put(key, cached)
+            cached = max(self.max_entry_magnitude(edge) for edge in node.edges)
+            table[key] = cached
         return abs(matrix.weight) * cached
 
     def identity_scalar(self, matrix: MEdge, tolerance: float = 1e-7) -> complex | None:
@@ -500,10 +876,9 @@ class DDPackage:
         cache: dict[int, complex | None] = {}
 
         def recurse(edge: MEdge) -> complex | None:
-            if edge.is_zero:
-                return 0.0
-            if edge.is_terminal:
-                return edge.weight
+            if edge.node is None:
+                weight = edge.weight
+                return 0.0 if weight == 0 else weight
             key = id(edge.node)
             if key in cache:
                 scalar = cache[key]
@@ -590,7 +965,7 @@ class DDPackage:
 
         def recurse(edge: VEdge, level: int) -> np.ndarray:
             size = 1 << (level + 1)
-            if edge.is_zero:
+            if edge.node is None and edge.weight == 0:
                 return np.zeros(size, dtype=complex)
             if level < 0:
                 return np.array([edge.weight], dtype=complex)
@@ -606,7 +981,7 @@ class DDPackage:
 
         def recurse(edge: MEdge, level: int) -> np.ndarray:
             size = 1 << (level + 1)
-            if edge.is_zero:
+            if edge.node is None and edge.weight == 0:
                 return np.zeros((size, size), dtype=complex)
             if level < 0:
                 return np.array([[edge.weight]], dtype=complex)
@@ -644,6 +1019,10 @@ class DDPackage:
             "add_matrix_cache": len(self._add_m),
             "multiply_mv_cache": len(self._mult_mv),
             "multiply_mm_cache": len(self._mult_mm),
+            "trace_cache": len(self._trace),
+            "dense_cutoff": self.dense_cutoff,
+            "dense_vector_cache": len(self._dense_v_cache),
+            "dense_matrix_cache": len(self._dense_m_cache),
             "chain_cache_size": len(self._chain_cache),
             "gate_cache_size": len(self._gate_cache),
             "gate_cache_limit": self.gate_cache_size,
@@ -668,7 +1047,10 @@ class DDPackage:
             self._inner,
             self._norm,
             self._max_entry,
+            self._trace,
         ):
             table.clear()
+        self._dense_v_cache.clear()
+        self._dense_m_cache.clear()
         self._gate_cache.clear()
         self._chain_cache.clear()
