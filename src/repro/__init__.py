@@ -33,15 +33,22 @@ from repro.circuit import (
 )
 from repro.core import (
     BatchResult,
+    Checker,
+    CheckerOutcome,
     Configuration,
     EquivalenceCheckResult,
     EquivalenceChecker,
     EquivalenceCheckingManager,
     EquivalenceCriterion,
     PortfolioResult,
+    PortfolioScheduler,
+    Schedule,
     check_behavioural_equivalence,
     check_equivalence,
     extract_distribution,
+    extract_pair_features,
+    register_checker,
+    register_scheduler,
     to_unitary_circuit,
     verify,
     verify_batch,
@@ -53,6 +60,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchResult",
+    "Checker",
+    "CheckerOutcome",
     "ClassicalRegister",
     "Configuration",
     "DDSimulator",
@@ -61,8 +70,10 @@ __all__ = [
     "EquivalenceCheckingManager",
     "EquivalenceCriterion",
     "PortfolioResult",
+    "PortfolioScheduler",
     "QuantumCircuit",
     "QuantumRegister",
+    "Schedule",
     "Statevector",
     "StatevectorSimulator",
     "__version__",
@@ -71,6 +82,9 @@ __all__ = [
     "circuit_from_qasm",
     "circuit_to_qasm",
     "extract_distribution",
+    "extract_pair_features",
+    "register_checker",
+    "register_scheduler",
     "to_unitary_circuit",
     "verify",
     "verify_batch",

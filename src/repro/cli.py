@@ -8,7 +8,8 @@ Usage (after ``pip install -e .``)::
 
     repro-qcec verify static.qasm dynamic.qasm --method alternating --strategy proportional
     repro-qcec verify static.qasm dynamic.qasm --portfolio simulation,alternating
-    repro-qcec batch manifest.txt --max-workers 8 --json
+    repro-qcec verify static.qasm dynamic.qasm --scheduler adaptive
+    repro-qcec batch manifest.txt --max-workers 8 --scheduler adaptive --json
     repro-qcec batch manifest.txt --executor process --chunk-size 4 --max-workers 8
     repro-qcec verify-behaviour static.qasm dynamic.qasm
     repro-qcec extract dynamic.qasm --backend dd
@@ -36,6 +37,8 @@ from repro.core import (
     Configuration,
     EquivalenceCheckingManager,
     EquivalenceCriterion,
+    available_checkers,
+    available_schedulers,
     check_behavioural_equivalence,
     check_equivalence,
     extract_distribution,
@@ -65,7 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("first", help="OpenQASM 2 file of the first circuit")
     verify.add_argument("second", help="OpenQASM 2 file of the second circuit")
-    verify.add_argument("--method", default="alternating", choices=["alternating", "construction", "simulation"])
+    # Checker and scheduler names come from the live registries, so
+    # registered third-party plugins are selectable without touching the CLI.
+    verify.add_argument(
+        "--method", default="alternating", choices=list(available_checkers())
+    )
     verify.add_argument(
         "--strategy", default="proportional", choices=["naive", "one_to_one", "proportional", "lookahead"]
     )
@@ -88,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "run a comma-separated portfolio of checkers with early termination "
             "instead of a single --method (e.g. 'simulation,alternating')"
+        ),
+    )
+    verify.add_argument(
+        "--scheduler",
+        default="static",
+        choices=list(available_schedulers()),
+        help=(
+            "portfolio scheduling policy: 'static' runs the portfolio in the "
+            "given order, 'adaptive' orders checkers and splits budgets from "
+            "circuit features (implies a portfolio run; the default line-up "
+            "is used when --portfolio is not given)"
         ),
     )
     verify.add_argument(
@@ -123,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="K",
         help="hybrid dense-subtree cutoff of the DD kernels (0 disables)",
+    )
+    batch.add_argument(
+        "--scheduler",
+        default="static",
+        choices=list(available_schedulers()),
+        help="portfolio scheduling policy (see 'verify --scheduler')",
     )
     batch.add_argument("--max-workers", type=int, default=4)
     batch.add_argument(
@@ -216,6 +240,20 @@ def _load_manifest(path: str) -> list[tuple[Path, Path]]:
     return pairs
 
 
+def _attempt_payloads(result) -> list[dict]:
+    """Per-checker detail of a portfolio run (status, verdict, wall-time)."""
+    return [
+        {
+            "method": attempt.method,
+            "status": attempt.status,
+            "criterion": attempt.result.criterion.value if attempt.result else None,
+            "time": attempt.time_taken,
+            "error": attempt.error,
+        }
+        for attempt in result.attempts
+    ]
+
+
 def _portfolio_payload(name_first: str, name_second: str, result) -> dict:
     return {
         "first": name_first,
@@ -224,16 +262,9 @@ def _portfolio_payload(name_first: str, name_second: str, result) -> dict:
         "equivalent": result.equivalent,
         "decided_by": result.decided_by,
         "reason": result.reason,
-        "attempts": [
-            {
-                "method": attempt.method,
-                "status": attempt.status,
-                "criterion": attempt.result.criterion.value if attempt.result else None,
-                "time": attempt.time_taken,
-                "error": attempt.error,
-            }
-            for attempt in result.attempts
-        ],
+        "scheduler": result.scheduler,
+        "schedule": result.schedule,
+        "attempts": _attempt_payloads(result),
         "total_time": result.total_time,
     }
 
@@ -248,10 +279,18 @@ def _command_verify(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         dense_cutoff=args.dense_cutoff,
         portfolio=_parse_portfolio(args.portfolio),
+        scheduler=args.scheduler,
         timeout=args.timeout,
         checker_timeout=args.checker_timeout,
     )
-    if args.portfolio is not None:
+    if args.portfolio is not None or args.scheduler != "static":
+        # An explicit portfolio, or any non-static scheduling policy, runs
+        # through the manager.  Without --portfolio the scheduler orders the
+        # default line-up — unless the user explicitly picked a --method, in
+        # which case that single checker is the portfolio (an explicit
+        # --method is never silently replaced by the default line-up).
+        if args.portfolio is None and args.method != "alternating":
+            configuration = configuration.updated(portfolio=(args.method,))
         return _verify_with_portfolio(first, second, configuration, args)
     if args.timeout is not None or args.checker_timeout is not None:
         # Timeouts are enforced by the manager; run the single method as a
@@ -289,7 +328,10 @@ def _verify_with_portfolio(first, second, configuration: Configuration, args) ->
         print(json.dumps(_portfolio_payload(first.name, second.name, result)))
     else:
         print(f"{first.name} vs {second.name}: {result.criterion.value}")
-        print(f"  portfolio={','.join(manager.portfolio)} decided_by={result.decided_by}")
+        print(
+            f"  scheduler={result.scheduler} schedule={','.join(result.schedule)} "
+            f"decided_by={result.decided_by}"
+        )
         print(f"  {result.reason}")
         for attempt in result.attempts:
             verdict = attempt.result.criterion.value if attempt.result else "-"
@@ -327,6 +369,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         dense_cutoff=args.dense_cutoff,
         portfolio=_parse_portfolio(args.portfolio),
+        scheduler=args.scheduler,
         timeout=args.timeout,
         checker_timeout=args.checker_timeout,
         max_workers=args.max_workers,
@@ -362,6 +405,9 @@ def _command_batch(args: argparse.Namespace) -> int:
                 "criterion": entry.result.criterion.value if entry.result else None,
                 "equivalent": entry.equivalent,
                 "decided_by": entry.result.decided_by if entry.result else None,
+                "scheduler": entry.result.scheduler if entry.result else None,
+                "schedule": entry.result.schedule if entry.result else None,
+                "checkers": _attempt_payloads(entry.result) if entry.result else None,
                 "error": entry.error,
                 "time": entry.time_taken,
             }

@@ -7,8 +7,22 @@
 * Equivalence checking engine: :func:`check_equivalence` / :func:`verify`,
   :class:`EquivalenceChecker`, :class:`Configuration`,
   :class:`EquivalenceCheckResult`.
+* Pluggable checker subsystem: :class:`Checker` / :class:`CheckerOutcome`
+  plus the :func:`register_checker` / :func:`resolve_checker` registry
+  (:mod:`repro.core.checkers`).
+* Feature-driven portfolio scheduling: :func:`extract_pair_features`,
+  :class:`PortfolioScheduler`, :class:`Schedule`
+  (:mod:`repro.core.features`, :mod:`repro.core.scheduler`).
 """
 
+from repro.core.checkers import (
+    Checker,
+    CheckerOutcome,
+    available_checkers,
+)
+from repro.core.checkers import register as register_checker
+from repro.core.checkers import resolve as resolve_checker
+from repro.core.checkers import unregister as unregister_checker
 from repro.core.configuration import Configuration
 from repro.core.distributions import (
     classical_fidelity,
@@ -26,6 +40,12 @@ from repro.core.equivalence import (
     verify,
 )
 from repro.core.extraction import ExtractionResult, extract_distribution
+from repro.core.features import (
+    CircuitFeatures,
+    PairFeatures,
+    circuit_features,
+    extract_pair_features,
+)
 from repro.core.manager import (
     DEFAULT_PORTFOLIO,
     EquivalenceCheckingManager,
@@ -40,6 +60,16 @@ from repro.core.results import (
     EquivalenceCriterion,
     PortfolioResult,
 )
+from repro.core.scheduler import (
+    AdaptiveScheduler,
+    PortfolioScheduler,
+    Schedule,
+    ScheduledChecker,
+    StaticScheduler,
+    available_schedulers,
+    register_scheduler,
+    resolve_scheduler,
+)
 from repro.core.simulative import run_simulative_check
 from repro.core.strategies import alternating_schedule
 from repro.core.transformation import (
@@ -52,10 +82,14 @@ from repro.core.transformation import (
 from repro.core.workers import BatchWorkUnit, chunk_pairs, verify_work_unit
 
 __all__ = [
+    "AdaptiveScheduler",
     "BatchEntry",
     "BatchResult",
     "BatchWorkUnit",
+    "Checker",
     "CheckerAttempt",
+    "CheckerOutcome",
+    "CircuitFeatures",
     "Configuration",
     "DEFAULT_PORTFOLIO",
     "EquivalenceCheckResult",
@@ -63,9 +97,17 @@ __all__ = [
     "EquivalenceCheckingManager",
     "EquivalenceCriterion",
     "ExtractionResult",
+    "PairFeatures",
     "PortfolioResult",
+    "PortfolioScheduler",
+    "Schedule",
+    "ScheduledChecker",
+    "StaticScheduler",
     "TransformationResult",
     "alternating_schedule",
+    "available_checkers",
+    "available_schedulers",
+    "circuit_features",
     "check_behavioural_equivalence",
     "check_equivalence",
     "chunk_pairs",
@@ -73,15 +115,21 @@ __all__ = [
     "defer_measurements",
     "distributions_equivalent",
     "extract_distribution",
+    "extract_pair_features",
     "hellinger_distance",
     "jensen_shannon_divergence",
     "kullback_leibler_divergence",
     "normalize_distribution",
     "permute_qubits",
+    "register_checker",
+    "register_scheduler",
+    "resolve_checker",
+    "resolve_scheduler",
     "run_simulative_check",
     "substitute_resets",
     "to_unitary_circuit",
     "total_variation_distance",
+    "unregister_checker",
     "verify",
     "verify_batch",
     "verify_portfolio",

@@ -1,0 +1,60 @@
+"""The simulative (random-stimuli) equivalence checker.
+
+The portfolio's *falsifier*: a single mismatching stimulus proves
+non-equivalence, usually long before a functional check would finish, but a
+pass only yields ``PROBABLY_EQUIVALENT``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.core.checkers.base import Checker, CheckerOutcome, register
+from repro.core.results import EquivalenceCriterion
+from repro.core.simulative import run_simulative_check
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuit.circuit import QuantumCircuit
+    from repro.core.configuration import Configuration
+
+__all__ = ["SimulationChecker"]
+
+
+class SimulationChecker(Checker):
+    """Refute equivalence fast by comparing the circuits on random stimuli."""
+
+    name: ClassVar[str] = "simulation"
+    role: ClassVar[str] = "falsifier"
+
+    def check(
+        self,
+        first: "QuantumCircuit",
+        second: "QuantumCircuit",
+        configuration: "Configuration",
+        *,
+        interrupt: Callable[[], bool] | None = None,
+    ) -> CheckerOutcome:
+        config = configuration
+        passed, details = run_simulative_check(
+            first,
+            second,
+            backend=config.backend,
+            num_simulations=config.num_simulations,
+            stimuli_type=config.stimuli_type,
+            tolerance=config.tolerance,
+            seed=config.seed,
+            gate_cache=config.gate_cache,
+            gate_cache_size=config.gate_cache_size,
+            dense_cutoff=config.dense_cutoff,
+            interrupt=interrupt,
+        )
+        criterion = (
+            EquivalenceCriterion.PROBABLY_EQUIVALENT
+            if passed
+            else EquivalenceCriterion.NOT_EQUIVALENT
+        )
+        return CheckerOutcome(criterion, details)
+
+
+register(SimulationChecker)

@@ -4,15 +4,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.exceptions import EquivalenceCheckingError
+from repro.exceptions import ConfigurationError
 
 __all__ = ["Configuration"]
 
-_METHODS = ("alternating", "construction", "simulation")
 _STRATEGIES = ("naive", "one_to_one", "proportional", "lookahead")
 _BACKENDS = ("dd", "dense")
 _STIMULI = ("basis", "product")
 _EXECUTORS = ("thread", "process")
+
+
+def _registered_checkers() -> tuple[str, ...]:
+    """Checker names known to the registry (the single source of truth).
+
+    Imported lazily: the checker modules consume configuration values at run
+    time, so importing them at this module's top level would be circular.
+    """
+    from repro.core.checkers import available_checkers
+
+    return available_checkers()
+
+
+def _registered_schedulers() -> tuple[str, ...]:
+    from repro.core.scheduler import available_schedulers
+
+    return available_schedulers()
 
 
 @dataclass(frozen=True)
@@ -22,9 +38,12 @@ class Configuration:
     Attributes
     ----------
     method:
+        Name of a registered checker (see :mod:`repro.core.checkers`):
         ``alternating`` (the QCEC-style scheme that keeps ``U * U'^dagger``
         close to the identity), ``construction`` (build both system matrices,
-        then compare), or ``simulation`` (random-stimuli check).
+        then compare), ``simulation`` (random-stimuli check), ``distribution``
+        (Scheme-2 measurement-outcome comparison), or any third-party checker
+        added through the registry.
     strategy:
         Application strategy of the alternating scheme: ``naive``,
         ``one_to_one``, ``proportional`` (the paper's default) or
@@ -65,10 +84,17 @@ class Configuration:
         levels.  Verdicts are unchanged either way — the dense path computes
         the same sums/products and lands in the same unique table.
     portfolio:
-        Checker methods run by the
-        :class:`~repro.core.manager.EquivalenceCheckingManager` (a subset of
-        the ``method`` choices).  ``None`` selects the default portfolio
-        (simulation as a fast falsifier, then the alternating scheme).
+        Checker names run by the
+        :class:`~repro.core.manager.EquivalenceCheckingManager`; every name
+        is validated eagerly against the checker registry at construction
+        time.  ``None`` selects the default portfolio (simulation as a fast
+        falsifier, then the alternating scheme).
+    scheduler:
+        How the manager turns the portfolio into a per-pair checker lineup:
+        ``static`` (configured order, uniform budgets — the historical
+        behaviour) or ``adaptive`` (feature-driven reordering and budget
+        splits; see :mod:`repro.core.scheduler`).  Third-party schedulers
+        register under their own names.
     timeout:
         Overall wall-clock budget (seconds) of one portfolio run; ``None``
         disables the limit.
@@ -104,6 +130,7 @@ class Configuration:
     gate_cache_size: int | None = None
     dense_cutoff: int = 0
     portfolio: tuple[str, ...] | None = None
+    scheduler: str = "static"
     timeout: float | None = None
     checker_timeout: float | None = None
     max_workers: int = 4
@@ -111,54 +138,62 @@ class Configuration:
     batch_chunk_size: int = 1
 
     def __post_init__(self) -> None:
-        if self.method not in _METHODS:
-            raise EquivalenceCheckingError(
-                f"unknown method {self.method!r}; choose from {_METHODS}"
+        known_checkers = _registered_checkers()
+        if self.method not in known_checkers:
+            raise ConfigurationError(
+                f"unknown method {self.method!r}; registered checkers: {known_checkers}"
             )
         if self.strategy not in _STRATEGIES:
-            raise EquivalenceCheckingError(
+            raise ConfigurationError(
                 f"unknown strategy {self.strategy!r}; choose from {_STRATEGIES}"
             )
         if self.backend not in _BACKENDS:
-            raise EquivalenceCheckingError(
+            raise ConfigurationError(
                 f"unknown backend {self.backend!r}; choose from {_BACKENDS}"
             )
         if self.stimuli_type not in _STIMULI:
-            raise EquivalenceCheckingError(
+            raise ConfigurationError(
                 f"unknown stimuli type {self.stimuli_type!r}; choose from {_STIMULI}"
             )
         if self.tolerance <= 0:
-            raise EquivalenceCheckingError("tolerance must be positive")
+            raise ConfigurationError("tolerance must be positive")
         if self.num_simulations < 1:
-            raise EquivalenceCheckingError("num_simulations must be at least 1")
+            raise ConfigurationError("num_simulations must be at least 1")
         if self.portfolio is not None:
             portfolio = tuple(self.portfolio)
             if not portfolio:
-                raise EquivalenceCheckingError("portfolio must name at least one checker")
+                raise ConfigurationError("portfolio must name at least one checker")
             for method in portfolio:
-                if method not in _METHODS:
-                    raise EquivalenceCheckingError(
-                        f"unknown portfolio checker {method!r}; choose from {_METHODS}"
+                if method not in known_checkers:
+                    raise ConfigurationError(
+                        f"unknown portfolio checker {method!r}; "
+                        f"registered checkers: {known_checkers}"
                     )
             if len(set(portfolio)) != len(portfolio):
-                raise EquivalenceCheckingError(f"duplicate checkers in portfolio {portfolio}")
+                raise ConfigurationError(f"duplicate checkers in portfolio {portfolio}")
             object.__setattr__(self, "portfolio", portfolio)
+        known_schedulers = _registered_schedulers()
+        if self.scheduler not in known_schedulers:
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"registered schedulers: {known_schedulers}"
+            )
         for name in ("timeout", "checker_timeout"):
             value = getattr(self, name)
             if value is not None and value <= 0:
-                raise EquivalenceCheckingError(f"{name} must be positive (or None)")
+                raise ConfigurationError(f"{name} must be positive (or None)")
         if self.max_workers < 1:
-            raise EquivalenceCheckingError("max_workers must be at least 1")
+            raise ConfigurationError("max_workers must be at least 1")
         if self.executor not in _EXECUTORS:
-            raise EquivalenceCheckingError(
+            raise ConfigurationError(
                 f"unknown executor {self.executor!r}; choose from {_EXECUTORS}"
             )
         if self.batch_chunk_size < 1:
-            raise EquivalenceCheckingError("batch_chunk_size must be at least 1")
+            raise ConfigurationError("batch_chunk_size must be at least 1")
         if self.gate_cache_size is not None and self.gate_cache_size < 1:
-            raise EquivalenceCheckingError("gate_cache_size must be at least 1 (or None)")
+            raise ConfigurationError("gate_cache_size must be at least 1 (or None)")
         if self.dense_cutoff < 0:
-            raise EquivalenceCheckingError("dense_cutoff must be non-negative (0 disables)")
+            raise ConfigurationError("dense_cutoff must be non-negative (0 disables)")
 
     def updated(self, **overrides) -> "Configuration":
         """Return a copy with the given fields replaced."""

@@ -4,7 +4,15 @@ The functional flow mirrors QCEC: it decides whether two circuits realize the
 same unitary ``U =? U'`` by building ``E = U * U'^dagger`` — either in one go
 (``construction``) or gate by gate from both sides (``alternating``), keeping
 ``E`` close to the identity for equivalent circuits — or by comparing the
-circuits on random stimuli (``simulation``).
+circuits on random stimuli (``simulation``) or on their measurement-outcome
+distributions (``distribution``).
+
+The strategies themselves live as pluggable :class:`~repro.core.checkers.base.Checker`
+classes in :mod:`repro.core.checkers` and are resolved by name through the
+checker registry — this module only orchestrates one run: Scheme-1
+transformation of dynamic circuits (skipped for Scheme-2 checkers, which
+handle dynamic primitives natively), qubit permutation, dispatch, timing and
+result wrapping.
 
 Dynamic circuits (containing resets, mid-circuit measurements or
 classically-controlled operations) are handled exactly as the paper proposes:
@@ -20,23 +28,16 @@ classically-controlled operations) are handled exactly as the paper proposes:
 from __future__ import annotations
 
 import time
-
-import numpy as np
+from collections.abc import Callable
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.gates import Gate
-from repro.circuit.operations import Instruction
+from repro.core import checkers as checker_registry
 from repro.core.configuration import Configuration
 from repro.core.distributions import classical_fidelity, total_variation_distance
 from repro.core.extraction import extract_distribution
 from repro.core.results import EquivalenceCheckResult, EquivalenceCriterion
-from repro.core.simulative import run_simulative_check
-from repro.core.strategies import LEFT, alternating_schedule
 from repro.core.transformation import permute_qubits, to_unitary_circuit
-from repro.dd.circuits import instruction_to_dd
-from repro.dd.package import DDPackage
 from repro.exceptions import EquivalenceCheckingError
-from repro.simulators.unitary import circuit_unitary, embed_gate_matrix, process_fidelity
 
 __all__ = [
     "EquivalenceChecker",
@@ -46,14 +47,13 @@ __all__ = [
 ]
 
 
-def _inverse_instruction(instruction: Instruction) -> Instruction:
-    gate = instruction.operation
-    assert isinstance(gate, Gate)
-    return Instruction(gate.inverse(), instruction.qubits)
-
-
 class EquivalenceChecker:
-    """Configurable equivalence checker for static and dynamic circuits."""
+    """Configurable equivalence checker for static and dynamic circuits.
+
+    Resolves the configured ``method`` through the checker registry
+    (:mod:`repro.core.checkers`), so registered third-party checkers work
+    here exactly like the built-in ones.
+    """
 
     def __init__(self, configuration: Configuration | None = None, **overrides):
         configuration = configuration or Configuration()
@@ -71,20 +71,24 @@ class EquivalenceChecker:
         second: QuantumCircuit,
         *,
         qubit_permutation: dict[int, int] | None = None,
+        interrupt: Callable[[], bool] | None = None,
     ) -> EquivalenceCheckResult:
         """Check whether ``first`` and ``second`` realize the same unitary.
 
         ``qubit_permutation`` optionally relabels the qubits of ``second``
         before the comparison (``{old: new}``) — useful when a reconstructed
         dynamic circuit enumerates its fresh qubits in a different order than
-        the static reference.
+        the static reference.  ``interrupt`` is a cancellation probe polled
+        by the checker between expensive steps (see
+        :class:`~repro.core.checkers.base.Checker`).
         """
         config = self.configuration
+        checker_cls = checker_registry.resolve(config.method)
         time_transformation = 0.0
 
-        first_unitary = first
-        second_unitary = second
-        if first.is_dynamic or second.is_dynamic:
+        first_prepared = first
+        second_prepared = second
+        if not checker_cls.scheme_two and (first.is_dynamic or second.is_dynamic):
             if not config.transform_dynamic:
                 raise EquivalenceCheckingError(
                     "the circuits contain non-unitary operations and transform_dynamic "
@@ -92,246 +96,40 @@ class EquivalenceChecker:
                 )
             if first.is_dynamic:
                 transformation = to_unitary_circuit(first)
-                first_unitary = transformation.circuit
+                first_prepared = transformation.circuit
                 time_transformation += transformation.time_taken
             if second.is_dynamic:
                 transformation = to_unitary_circuit(second)
-                second_unitary = transformation.circuit
+                second_prepared = transformation.circuit
                 time_transformation += transformation.time_taken
 
         if qubit_permutation is not None:
-            second_unitary = permute_qubits(second_unitary, qubit_permutation)
+            second_prepared = permute_qubits(second_prepared, qubit_permutation)
 
-        if first_unitary.num_qubits != second_unitary.num_qubits:
+        if not checker_cls.scheme_two and (
+            first_prepared.num_qubits != second_prepared.num_qubits
+        ):
             raise EquivalenceCheckingError(
                 "after unitary reconstruction the circuits act on different numbers of "
-                f"qubits ({first_unitary.num_qubits} vs {second_unitary.num_qubits}); "
+                f"qubits ({first_prepared.num_qubits} vs {second_prepared.num_qubits}); "
                 "they do not have the same primary inputs/outputs"
             )
 
         start = time.perf_counter()
-        if config.method == "alternating":
-            criterion, details = self._alternating(first_unitary, second_unitary)
-        elif config.method == "construction":
-            criterion, details = self._construction(first_unitary, second_unitary)
-        else:
-            criterion, details = self._simulation(first_unitary, second_unitary)
+        outcome = checker_cls().check(
+            first_prepared, second_prepared, config, interrupt=interrupt
+        )
         time_check = time.perf_counter() - start
 
         return EquivalenceCheckResult(
-            criterion=criterion,
+            criterion=outcome.criterion,
             method=config.method,
             backend=config.backend,
-            strategy=config.strategy if config.method == "alternating" else None,
+            strategy=config.strategy if checker_cls.uses_strategy else None,
             time_transformation=time_transformation,
             time_check=time_check,
-            details=details,
+            details=outcome.details,
         )
-
-    # ------------------------------------------------------------------
-    # functional checks
-    # ------------------------------------------------------------------
-
-    def _gate_lists(
-        self, first: QuantumCircuit, second: QuantumCircuit
-    ) -> tuple[list[Instruction], list[Instruction]]:
-        left = list(first.remove_final_measurements().gate_instructions())
-        right = list(second.remove_final_measurements().gate_instructions())
-        return left, right
-
-    def _alternating(self, first: QuantumCircuit, second: QuantumCircuit):
-        if self.configuration.backend == "dd":
-            return self._alternating_dd(first, second)
-        return self._alternating_dense(first, second)
-
-    def _alternating_dd(self, first: QuantumCircuit, second: QuantumCircuit):
-        config = self.configuration
-        num_qubits = first.num_qubits
-        package = DDPackage(
-            num_qubits,
-            gate_cache=config.gate_cache,
-            gate_cache_size=config.gate_cache_size,
-            dense_cutoff=config.dense_cutoff,
-        )
-        left, right = self._gate_lists(first, second)
-        product = package.identity()
-        max_nodes = package.count_nodes(product)
-        left_index = 0
-        right_index = 0
-
-        def apply_left(current):
-            nonlocal left_index
-            gate_dd = instruction_to_dd(package, left[left_index])
-            left_index += 1
-            return package.multiply_matrices(gate_dd, current)
-
-        def apply_right(current):
-            nonlocal right_index
-            gate_dd = instruction_to_dd(package, _inverse_instruction(right[right_index]))
-            right_index += 1
-            return package.multiply_matrices(current, gate_dd)
-
-        if config.strategy == "lookahead":
-            while left_index < len(left) or right_index < len(right):
-                if left_index >= len(left):
-                    product = apply_right(product)
-                elif right_index >= len(right):
-                    product = apply_left(product)
-                else:
-                    saved_left, saved_right = left_index, right_index
-                    candidate_left = apply_left(product)
-                    left_after = left_index
-                    left_index = saved_left
-                    candidate_right = apply_right(product)
-                    right_after = right_index
-                    if package.count_nodes(candidate_left) <= package.count_nodes(candidate_right):
-                        product = candidate_left
-                        left_index, right_index = left_after, saved_right
-                    else:
-                        product = candidate_right
-                        left_index, right_index = saved_left, right_after
-                max_nodes = max(max_nodes, package.count_nodes(product))
-        else:
-            for token in alternating_schedule(len(left), len(right), config.strategy):
-                product = apply_left(product) if token == LEFT else apply_right(product)
-                max_nodes = max(max_nodes, package.count_nodes(product))
-
-        scalar = package.identity_scalar(product, config.tolerance)
-        details = {
-            "max_nodes": max_nodes,
-            "final_nodes": package.count_nodes(product),
-            "num_gates_first": len(left),
-            "num_gates_second": len(right),
-            "dd_statistics": package.statistics(),
-        }
-        return self._criterion_from_scalar(scalar, config.tolerance), details
-
-    def _alternating_dense(self, first: QuantumCircuit, second: QuantumCircuit):
-        config = self.configuration
-        num_qubits = first.num_qubits
-        dim = 1 << num_qubits
-        left, right = self._gate_lists(first, second)
-        product = np.eye(dim, dtype=complex)
-
-        left_matrices = (self._dense_gate(inst, num_qubits) for inst in left)
-        right_matrices = (
-            self._dense_gate(_inverse_instruction(inst), num_qubits) for inst in right
-        )
-        for token in alternating_schedule(len(left), len(right), self._dense_strategy()):
-            if token == LEFT:
-                product = next(left_matrices) @ product
-            else:
-                product = product @ next(right_matrices)
-
-        details = {"num_gates_first": len(left), "num_gates_second": len(right)}
-        return self._criterion_from_matrix(product, config.tolerance), details
-
-    def _dense_strategy(self) -> str:
-        # Lookahead is a DD-size heuristic; on the dense backend it degenerates
-        # to the proportional schedule.
-        if self.configuration.strategy == "lookahead":
-            return "proportional"
-        return self.configuration.strategy
-
-    def _construction(self, first: QuantumCircuit, second: QuantumCircuit):
-        config = self.configuration
-        if config.backend == "dd":
-            package = DDPackage(
-                first.num_qubits,
-                gate_cache=config.gate_cache,
-                gate_cache_size=config.gate_cache_size,
-                dense_cutoff=config.dense_cutoff,
-            )
-            from repro.dd.circuits import circuit_to_unitary_dd
-
-            unitary_first = circuit_to_unitary_dd(package, first)
-            unitary_second_inverse = circuit_to_unitary_dd(
-                package, second.remove_final_measurements().inverse()
-            )
-            product = package.multiply_matrices(unitary_first, unitary_second_inverse)
-            scalar = package.identity_scalar(product, config.tolerance)
-            details = {
-                "nodes_first": package.count_nodes(unitary_first),
-                "nodes_second": package.count_nodes(unitary_second_inverse),
-                "final_nodes": package.count_nodes(product),
-                "dd_statistics": package.statistics(),
-            }
-            return self._criterion_from_scalar(scalar, config.tolerance), details
-
-        unitary_first = circuit_unitary(first)
-        unitary_second = circuit_unitary(second)
-        fidelity = process_fidelity(unitary_first, unitary_second)
-        details = {"process_fidelity": fidelity}
-        if fidelity > 1.0 - config.tolerance:
-            phase_free = np.allclose(unitary_first, unitary_second, atol=math_sqrt_tol(config.tolerance))
-            criterion = (
-                EquivalenceCriterion.EQUIVALENT
-                if phase_free
-                else EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE
-            )
-            return criterion, details
-        return EquivalenceCriterion.NOT_EQUIVALENT, details
-
-    def _simulation(self, first: QuantumCircuit, second: QuantumCircuit):
-        config = self.configuration
-        passed, details = run_simulative_check(
-            first,
-            second,
-            backend=config.backend,
-            num_simulations=config.num_simulations,
-            stimuli_type=config.stimuli_type,
-            tolerance=config.tolerance,
-            seed=config.seed,
-            gate_cache=config.gate_cache,
-            gate_cache_size=config.gate_cache_size,
-            dense_cutoff=config.dense_cutoff,
-        )
-        criterion = (
-            EquivalenceCriterion.PROBABLY_EQUIVALENT
-            if passed
-            else EquivalenceCriterion.NOT_EQUIVALENT
-        )
-        return criterion, details
-
-    # ------------------------------------------------------------------
-    # verdict helpers
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _dense_gate(instruction: Instruction, num_qubits: int) -> np.ndarray:
-        gate = instruction.operation
-        assert isinstance(gate, Gate)
-        if gate.num_qubits == 0:
-            return complex(gate.matrix[0, 0]) * np.eye(1 << num_qubits, dtype=complex)
-        return embed_gate_matrix(gate.matrix, instruction.qubits, num_qubits)
-
-    @staticmethod
-    def _criterion_from_scalar(scalar: complex | None, tolerance: float) -> EquivalenceCriterion:
-        if scalar is None:
-            return EquivalenceCriterion.NOT_EQUIVALENT
-        if abs(scalar - 1.0) <= tolerance:
-            return EquivalenceCriterion.EQUIVALENT
-        if abs(abs(scalar) - 1.0) <= tolerance:
-            return EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE
-        return EquivalenceCriterion.NOT_EQUIVALENT
-
-    @staticmethod
-    def _criterion_from_matrix(matrix: np.ndarray, tolerance: float) -> EquivalenceCriterion:
-        dim = matrix.shape[0]
-        identity = np.eye(dim, dtype=complex)
-        if np.allclose(matrix, identity, atol=tolerance):
-            return EquivalenceCriterion.EQUIVALENT
-        scalar = np.trace(matrix) / dim
-        if abs(abs(scalar) - 1.0) <= tolerance and np.allclose(
-            matrix, scalar * identity, atol=tolerance * 10
-        ):
-            return EquivalenceCriterion.EQUIVALENT_UP_TO_GLOBAL_PHASE
-        return EquivalenceCriterion.NOT_EQUIVALENT
-
-
-def math_sqrt_tol(tolerance: float) -> float:
-    """Absolute tolerance used for exact (phase-sensitive) matrix comparisons."""
-    return max(tolerance, 1e-9)
 
 
 def check_equivalence(
@@ -380,6 +178,11 @@ def check_behavioural_equivalence(
     branching classical simulation and the two distributions are compared by
     total-variation distance.  Both circuits may freely contain dynamic
     primitives; they must measure the same number of classical bits.
+
+    The portfolio counterpart is the registered ``distribution`` checker
+    (:class:`~repro.core.checkers.distribution.DistributionChecker`); this
+    function additionally exposes the initial state, extraction backend and
+    pruning knobs.
     """
     if first.num_clbits != second.num_clbits:
         raise EquivalenceCheckingError(

@@ -26,6 +26,7 @@ the scheme; the DD backend is what makes the large sparse benchmark instances
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.circuit.circuit import QuantumCircuit
@@ -109,6 +110,7 @@ def extract_distribution(
     backend: str = "statevector",
     prune_threshold: float = 1e-12,
     max_paths: int | None = None,
+    interrupt: "Callable[[], bool] | None" = None,
 ) -> ExtractionResult:
     """Extract the complete measurement-outcome distribution of ``circuit``.
 
@@ -131,6 +133,11 @@ def extract_distribution(
     max_paths:
         Optional safety limit on the number of live branches; exceeded limits
         raise :class:`~repro.exceptions.ExtractionError`.
+    interrupt:
+        Optional cancellation probe polled between instructions (see
+        :class:`repro.core.checkers.base.Checker`); when it fires the
+        extraction raises ``CheckerInterrupted`` instead of finishing on an
+        abandoned thread.
 
     Returns
     -------
@@ -157,6 +164,10 @@ def extract_distribution(
     num_branch_points = 0
 
     for instruction in circuit:
+        if interrupt is not None and interrupt():
+            from repro.core.checkers.base import CheckerInterrupted
+
+            raise CheckerInterrupted
         if instruction.is_barrier:
             continue
 

@@ -5,15 +5,22 @@ the caller commit to one checker up front.  Real equivalence-checking tools
 such as QCEC instead run a *portfolio* of complementary checkers and stop as
 soon as any of them is definitive:
 
-* ``simulation`` is a fast *falsifier* — a single mismatching stimulus proves
-  non-equivalence, usually long before a functional check would finish, but a
-  pass only yields ``PROBABLY_EQUIVALENT``;
+* ``simulation`` (and ``distribution``) are fast *falsifiers* — a single
+  mismatching stimulus or outcome distribution proves non-equivalence,
+  usually long before a functional check would finish, but a pass only
+  yields ``PROBABLY_EQUIVALENT``;
 * ``alternating`` (and ``construction``) are *provers* — they decide
   equivalence definitively, at higher cost.
 
-:class:`EquivalenceCheckingManager` runs the configured portfolio in order
-with per-checker and overall wall-clock budgets, terminates early on the
-first definitive verdict, and records which checker decided and why in a
+Which checkers run, in which order and with which budgets is decided per
+pair by a :class:`~repro.core.scheduler.PortfolioScheduler`
+(``Configuration.scheduler``): ``static`` replays the configured portfolio
+verbatim, ``adaptive`` reorders it from circuit features (and routes
+conditioned-reset pairs to the Scheme-2 ``distribution`` checker, which the
+Scheme-1 checkers cannot decide).  :class:`EquivalenceCheckingManager` runs
+the scheduled lineup with per-checker and overall wall-clock budgets,
+terminates early on the first definitive verdict, and records the schedule,
+the feature vector and which checker decided in a
 :class:`~repro.core.results.PortfolioResult`.  For scale,
 :meth:`EquivalenceCheckingManager.verify_batch` verifies many circuit pairs
 concurrently — on a thread pool (``executor="thread"``) or, since the DD
@@ -41,6 +48,8 @@ import time
 from collections.abc import Sequence
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.core import checkers as checker_registry
+from repro.core.checkers.base import CheckerInterrupted
 from repro.core.configuration import Configuration
 from repro.core.equivalence import EquivalenceChecker
 from repro.core.results import (
@@ -50,6 +59,7 @@ from repro.core.results import (
     EquivalenceCriterion,
     PortfolioResult,
 )
+from repro.core.scheduler import Schedule, resolve_scheduler
 from repro.core.transformation import to_unitary_circuit
 from repro.core.workers import BatchWorkUnit, chunk_pairs, verify_work_unit
 
@@ -83,13 +93,13 @@ _INDICATIVE_RANK = {
 
 
 class EquivalenceCheckingManager:
-    """Run a portfolio of equivalence checkers with early termination.
+    """Run a scheduled portfolio of equivalence checkers with early termination.
 
     Configuration knobs (see :class:`~repro.core.configuration.Configuration`):
-    ``portfolio`` selects and orders the checkers (default
-    :data:`DEFAULT_PORTFOLIO`), ``checker_timeout`` bounds each checker,
-    ``timeout`` bounds the whole run, and ``max_workers`` sizes the thread
-    pool of :meth:`verify_batch`.
+    ``portfolio`` selects the checkers (default :data:`DEFAULT_PORTFOLIO`),
+    ``scheduler`` decides their per-pair order and budget splits,
+    ``checker_timeout`` bounds each checker, ``timeout`` bounds the whole
+    run, and ``max_workers`` sizes the worker pool of :meth:`verify_batch`.
     """
 
     def __init__(self, configuration: Configuration | None = None, **overrides):
@@ -97,15 +107,22 @@ class EquivalenceCheckingManager:
         if overrides:
             configuration = configuration.updated(**overrides)
         self.configuration = configuration
+        self._scheduler = resolve_scheduler(configuration.scheduler)()
 
     @property
     def portfolio(self) -> tuple[str, ...]:
-        """The checkers this manager runs, in order."""
+        """The configured checker pool (the scheduler orders it per pair)."""
         return self.configuration.portfolio or DEFAULT_PORTFOLIO
 
     # ------------------------------------------------------------------
     # single pair
     # ------------------------------------------------------------------
+
+    def schedule_for(
+        self, first: QuantumCircuit, second: QuantumCircuit
+    ) -> Schedule:
+        """The scheduler's lineup for one pair (without running anything)."""
+        return self._scheduler.build(first, second, self.configuration)
 
     def run(
         self,
@@ -113,47 +130,60 @@ class EquivalenceCheckingManager:
         second: QuantumCircuit,
         *,
         qubit_permutation: dict[int, int] | None = None,
+        schedule: Schedule | None = None,
     ) -> PortfolioResult:
-        """Check one circuit pair with the configured portfolio.
+        """Check one circuit pair with the scheduled checker lineup.
 
-        Checkers run in portfolio order; the first definitive verdict
+        Checkers run in schedule order; the first definitive verdict
         (``EQUIVALENT``, ``EQUIVALENT_UP_TO_GLOBAL_PHASE`` or
         ``NOT_EQUIVALENT``) terminates the run and the remaining checkers are
         skipped.  A checker that raises or exceeds its time budget is recorded
         and the next checker gets its turn.  When no checker is definitive the
         final criterion falls back to the best indicative one
-        (``PROBABLY_EQUIVALENT`` from a passing simulation) or
+        (``PROBABLY_EQUIVALENT`` from a passing behavioural check) or
         ``NO_INFORMATION``.
+
+        ``schedule`` injects a precomputed scheduling decision (the
+        process-pool batch path ships pickled schedules so workers and parent
+        agree); by default the configured scheduler decides here.
         """
         config = self.configuration
         start = time.perf_counter()
+        if schedule is None:
+            schedule = self.schedule_for(first, second)
         deadline = None if config.timeout is None else start + config.timeout
         attempts: list[CheckerAttempt] = []
         indicative: EquivalenceCriterion | None = None
         indicative_method: str | None = None
+        schedule_names = list(schedule.checker_names)
+        features_payload = (
+            schedule.features.to_dict() if schedule.features is not None else None
+        )
 
         # Transform dynamic circuits to unitary ones once (Scheme 1) and share
-        # the result across all checkers instead of re-transforming per method.
-        # On failure fall back to the originals so the error surfaces per
-        # checker attempt, as it would without the shared transformation.
+        # the result across all Scheme-1 checkers instead of re-transforming
+        # per method; Scheme-2 checkers receive the originals.  On failure
+        # fall back to the originals so the error surfaces per checker
+        # attempt, as it would without the shared transformation.
+        original_first, original_second = first, second
+        unitary_first, unitary_second = first, second
         if config.transform_dynamic:
             try:
                 if first.is_dynamic:
-                    first = to_unitary_circuit(first).circuit
+                    unitary_first = to_unitary_circuit(first).circuit
                 if second.is_dynamic:
-                    second = to_unitary_circuit(second).circuit
+                    unitary_second = to_unitary_circuit(second).circuit
             except Exception:  # noqa: BLE001 - checkers report it per attempt
                 pass
 
-        portfolio = list(self.portfolio)
-        for position, method in enumerate(portfolio):
-            budget = config.checker_timeout
+        for position, slot in enumerate(schedule.checkers):
+            budget = slot.budget(config)
             if deadline is not None:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
                     attempts.extend(
-                        CheckerAttempt(method=m, status="skipped")
-                        for m in portfolio[position:]
+                        CheckerAttempt(method=name, status="skipped")
+                        for name in schedule_names[position:]
                     )
                     return PortfolioResult(
                         criterion=indicative or EquivalenceCriterion.NO_INFORMATION,
@@ -161,33 +191,43 @@ class EquivalenceCheckingManager:
                         reason=f"overall timeout of {config.timeout}s exhausted",
                         attempts=attempts,
                         total_time=time.perf_counter() - start,
+                        schedule=schedule_names,
+                        scheduler=schedule.scheduler,
+                        features=features_payload,
                     )
                 budget = remaining if budget is None else min(budget, remaining)
 
-            attempt = self._run_checker(method, first, second, qubit_permutation, budget)
+            if checker_registry.resolve(slot.name).scheme_two:
+                pair = (original_first, original_second)
+            else:
+                pair = (unitary_first, unitary_second)
+            attempt = self._run_checker(slot.name, *pair, qubit_permutation, budget)
             attempts.append(attempt)
 
             if attempt.result is not None:
                 criterion = attempt.result.criterion
                 if criterion in _DEFINITIVE:
                     attempts.extend(
-                        CheckerAttempt(method=m, status="skipped")
-                        for m in portfolio[position + 1 :]
+                        CheckerAttempt(method=name, status="skipped")
+                        for name in schedule_names[position + 1 :]
                     )
                     return PortfolioResult(
                         criterion=criterion,
-                        decided_by=method,
+                        decided_by=slot.name,
                         reason=(
-                            f"{method} returned {criterion.value} "
+                            f"{slot.name} returned {criterion.value} "
                             f"after {attempt.time_taken:.6f}s"
                         ),
                         attempts=attempts,
                         total_time=time.perf_counter() - start,
+                        schedule=schedule_names,
+                        scheduler=schedule.scheduler,
+                        features=features_payload,
                     )
                 rank = _INDICATIVE_RANK.get(criterion, 0)
                 if indicative is None or rank > _INDICATIVE_RANK.get(indicative, 0):
                     indicative = criterion
-                    indicative_method = method
+                    indicative_method = slot.name
 
         if indicative is not None:
             reason = (
@@ -202,6 +242,9 @@ class EquivalenceCheckingManager:
             reason=reason,
             attempts=attempts,
             total_time=time.perf_counter() - start,
+            schedule=schedule_names,
+            scheduler=schedule.scheduler,
+            features=features_payload,
         )
 
     def _run_checker(
@@ -216,22 +259,29 @@ class EquivalenceCheckingManager:
         checker = EquivalenceChecker(self.configuration.updated(method=method))
         started = time.perf_counter()
 
-        def task():
-            return checker.run(first, second, qubit_permutation=qubit_permutation)
-
         try:
             if budget is None:
-                result = task()
+                result = checker.run(first, second, qubit_permutation=qubit_permutation)
             else:
                 # Python threads cannot be killed; on timeout the worker is
-                # abandoned (it finishes in the background) and the portfolio
-                # moves on.  A daemon thread is used rather than an executor so
-                # that an abandoned checker never blocks interpreter exit.
+                # abandoned and the portfolio moves on.  The stop flag makes
+                # the abandoned checker observe its cancellation between steps
+                # and bail out via CheckerInterrupted instead of running to
+                # completion — without it, batch runs with tight budgets
+                # accumulate daemon threads burning CPU on dead work.
+                stop = threading.Event()
                 outcome: dict = {}
 
                 def worker():
                     try:
-                        outcome["result"] = task()
+                        outcome["result"] = checker.run(
+                            first,
+                            second,
+                            qubit_permutation=qubit_permutation,
+                            interrupt=stop.is_set,
+                        )
+                    except CheckerInterrupted:
+                        pass  # cancelled after timeout; exit quietly
                     except Exception as error:  # noqa: BLE001 - re-raised below
                         outcome["error"] = error
 
@@ -241,6 +291,7 @@ class EquivalenceCheckingManager:
                 thread.start()
                 thread.join(timeout=budget)
                 if thread.is_alive():
+                    stop.set()
                     return CheckerAttempt(
                         method=method,
                         status="timeout",
@@ -274,11 +325,12 @@ class EquivalenceCheckingManager:
     ) -> BatchResult:
         """Verify many circuit pairs concurrently.
 
-        Each pair gets a full portfolio run on ``configuration.max_workers``
-        concurrent workers — threads (``executor="thread"``, the default) or
-        worker processes (``executor="process"``, sharded into picklable work
-        units of ``batch_chunk_size`` pairs; see :mod:`repro.core.workers`).
-        Entries come back in input order either way, and a pair that raises is
+        Each pair gets a full scheduled portfolio run on
+        ``configuration.max_workers`` concurrent workers — threads
+        (``executor="thread"``, the default) or worker processes
+        (``executor="process"``, sharded into picklable work units of
+        ``batch_chunk_size`` pairs; see :mod:`repro.core.workers`).  Entries
+        come back in input order either way, and a pair that raises is
         recorded as failed without affecting the other pairs.
         """
         start = time.perf_counter()
@@ -312,19 +364,32 @@ class EquivalenceCheckingManager:
     ) -> list[BatchEntry]:
         """Fan work units out to a process pool, reassembling input order.
 
-        A unit whose future fails as a whole (unpicklable payload, a worker
-        process dying, a broken pool) is mapped back onto per-pair error
-        entries, so failure isolation matches the thread path at work-unit
-        granularity and the batch always returns one entry per input pair.
+        Scheduling decisions are made *once*, here in the parent, and shipped
+        inside the (picklable) work units — workers replay them instead of
+        re-deriving, so parent-side bookkeeping and worker-side execution can
+        never disagree on a pair's lineup.  A unit whose future fails as a
+        whole (unpicklable payload, a worker process dying, a broken pool) is
+        mapped back onto per-pair error entries, so failure isolation matches
+        the thread path at work-unit granularity and the batch always returns
+        one entry per input pair.
         """
         config = self.configuration
         entries: list[BatchEntry | None] = [None] * len(pairs)
+        schedules = {
+            index: self.schedule_for(first, second)
+            for index, (first, second) in enumerate(pairs)
+        }
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=config.max_workers
         ) as executor:
             futures = {
                 executor.submit(
-                    verify_work_unit, BatchWorkUnit(configuration=config, pairs=unit)
+                    verify_work_unit,
+                    BatchWorkUnit(
+                        configuration=config,
+                        pairs=unit,
+                        schedules={index: schedules[index] for index, _, _ in unit},
+                    ),
                 ): unit
                 for unit in chunk_pairs(pairs, config.batch_chunk_size)
             }
@@ -352,7 +417,11 @@ class EquivalenceCheckingManager:
         return entries
 
     def _batch_entry(
-        self, index: int, first: QuantumCircuit, second: QuantumCircuit
+        self,
+        index: int,
+        first: QuantumCircuit,
+        second: QuantumCircuit,
+        schedule: Schedule | None = None,
     ) -> BatchEntry:
         started = time.perf_counter()
         entry = BatchEntry(
@@ -361,7 +430,7 @@ class EquivalenceCheckingManager:
             name_second=getattr(second, "name", None) or f"second[{index}]",
         )
         try:
-            entry.result = self.run(first, second)
+            entry.result = self.run(first, second, schedule=schedule)
         except Exception as error:  # noqa: BLE001 - isolate per-pair failures
             entry.error = f"{type(error).__name__}: {error}"
         entry.time_taken = time.perf_counter() - started

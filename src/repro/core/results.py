@@ -116,7 +116,9 @@ class CheckerAttempt:
     Attributes
     ----------
     method:
-        The checker that ran (``simulation``, ``alternating``, ``construction``).
+        Registry name of the checker that ran (``simulation``,
+        ``alternating``, ``construction``, ``distribution``, or a
+        third-party checker).
     status:
         ``completed``, ``timeout``, ``error`` or ``skipped`` (a later checker
         that never ran because an earlier one terminated the portfolio).
@@ -150,9 +152,21 @@ class PortfolioResult:
     reason:
         Human-readable explanation of how the verdict came about.
     attempts:
-        Per-checker bookkeeping in portfolio order.
+        Per-checker bookkeeping in schedule order (each attempt records its
+        own wall-time).
     total_time:
         Wall-clock seconds of the whole portfolio run.
+    schedule:
+        Checker names in the order the scheduler lined them up (may differ
+        from the configured portfolio order under the adaptive scheduler, and
+        may include checkers the scheduler added, e.g. ``distribution`` for
+        conditioned-reset pairs).
+    scheduler:
+        Name of the scheduler that produced the lineup.
+    features:
+        JSON-friendly circuit-pair feature vector the scheduling decision was
+        based on (``None`` for schedulers that do not extract features, such
+        as ``static``).
     """
 
     criterion: EquivalenceCriterion
@@ -160,6 +174,9 @@ class PortfolioResult:
     reason: str
     attempts: list[CheckerAttempt] = field(default_factory=list)
     total_time: float = 0.0
+    schedule: list[str] = field(default_factory=list)
+    scheduler: str = "static"
+    features: dict | None = None
 
     @property
     def equivalent(self) -> bool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Callable
 
 import numpy as np
 
@@ -49,11 +50,16 @@ def run_simulative_check(
     gate_cache: bool = True,
     gate_cache_size: int | None = None,
     dense_cutoff: int = 0,
+    interrupt: "Callable[[], bool] | None" = None,
 ) -> tuple[bool, dict]:
     """Compare two unitary circuits on random stimuli.
 
     Returns ``(no_counterexample_found, details)``; ``details`` records the
     minimum fidelity observed and, for a failing run, the offending stimulus.
+    ``interrupt`` is an optional cancellation probe polled before every
+    stimulus — a cancelled check raises
+    :class:`~repro.core.checkers.base.CheckerInterrupted` instead of burning
+    through the remaining stimuli on an abandoned thread.
     """
     if first.num_qubits != second.num_qubits:
         raise EquivalenceCheckingError(
@@ -82,6 +88,10 @@ def run_simulative_check(
     )
 
     for run in range(num_simulations):
+        if interrupt is not None and interrupt():
+            from repro.core.checkers.base import CheckerInterrupted
+
+            raise CheckerInterrupted
         if stimuli_type == "basis":
             stimulus = _random_basis_stimulus(num_qubits, rng)
             circuit_one = first

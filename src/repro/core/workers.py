@@ -5,10 +5,12 @@ a ``ProcessPoolExecutor`` (``Configuration.executor == "process"``), which
 requires every work unit to round-trip through ``pickle``:
 
 * the *input* of a unit is a :class:`BatchWorkUnit` — the (picklable)
-  :class:`~repro.core.configuration.Configuration` plus a chunk of indexed
+  :class:`~repro.core.configuration.Configuration`, a chunk of indexed
   circuit pairs (:class:`~repro.circuit.circuit.QuantumCircuit` defines
   ``__getstate__``/``__setstate__``, gates and instructions define
-  ``__reduce__``);
+  ``__reduce__``) and the parent's per-pair scheduling decisions
+  (:class:`~repro.core.scheduler.Schedule` objects are plain frozen
+  dataclasses, picklable by design);
 * the *worker* is the top-level function :func:`verify_work_unit`, importable
   by name from any start method (fork, spawn, forkserver);
 * the *output* is a list of plain :class:`~repro.core.results.BatchEntry`
@@ -25,26 +27,31 @@ entries of a failing pair record the error, the rest of the chunk proceeds.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.core.configuration import Configuration
 from repro.core.results import BatchEntry
+from repro.core.scheduler import Schedule
 
 __all__ = ["BatchWorkUnit", "chunk_pairs", "verify_work_unit"]
 
 
 @dataclass
 class BatchWorkUnit:
-    """A picklable shard of a batch: a configuration plus indexed pairs.
+    """A picklable shard of a batch: configuration, indexed pairs, schedules.
 
     ``pairs`` holds ``(index, first, second)`` triples; ``index`` is the
     position in the original batch so that results can be reassembled in input
-    order regardless of completion order.
+    order regardless of completion order.  ``schedules`` maps pair indices to
+    the scheduling decisions the parent process already made — workers replay
+    them verbatim instead of re-deriving, so a pair's recorded lineup is the
+    same no matter which side of the process boundary ran it.
     """
 
     configuration: Configuration
     pairs: list[tuple[int, QuantumCircuit, QuantumCircuit]]
+    schedules: dict[int, Schedule] = field(default_factory=dict)
 
 
 def chunk_pairs(
@@ -77,6 +84,6 @@ def verify_work_unit(unit: BatchWorkUnit) -> list[BatchEntry]:
 
     manager = EquivalenceCheckingManager(unit.configuration.updated(executor="thread"))
     return [
-        manager._batch_entry(index, first, second)
+        manager._batch_entry(index, first, second, unit.schedules.get(index))
         for index, first, second in unit.pairs
     ]

@@ -90,10 +90,19 @@ def instruction_to_dd(package: DDPackage, instruction: Instruction) -> MEdge:
     return result
 
 
-def circuit_to_unitary_dd(package: DDPackage, circuit: QuantumCircuit) -> MEdge:
+def circuit_to_unitary_dd(
+    package: DDPackage,
+    circuit: QuantumCircuit,
+    *,
+    interrupt: "Callable[[], bool] | None" = None,
+) -> MEdge:
     """Build the matrix DD of the whole (unitary) circuit.
 
     Trailing read-out measurements are ignored; dynamic primitives raise.
+    ``interrupt`` is an optional cancellation probe polled between gate
+    applications (see :class:`repro.core.checkers.base.Checker`); when it
+    fires the build raises ``CheckerInterrupted`` instead of finishing on an
+    abandoned thread.
     """
     if circuit.num_qubits != package.num_qubits:
         raise DDError(
@@ -102,6 +111,10 @@ def circuit_to_unitary_dd(package: DDPackage, circuit: QuantumCircuit) -> MEdge:
     unitary = package.identity()
     multiply = package.multiply_matrices
     for instruction in circuit.remove_final_measurements().gate_instructions():
+        if interrupt is not None and interrupt():
+            from repro.core.checkers.base import CheckerInterrupted
+
+            raise CheckerInterrupted
         unitary = multiply(instruction_to_dd(package, instruction), unitary)
     return unitary
 

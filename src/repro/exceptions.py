@@ -41,5 +41,14 @@ class EquivalenceCheckingError(ReproError):
     """Raised when an equivalence check cannot be carried out as configured."""
 
 
+class ConfigurationError(EquivalenceCheckingError):
+    """Raised when a :class:`~repro.core.configuration.Configuration` is invalid.
+
+    Subclasses :class:`EquivalenceCheckingError` so that existing handlers of
+    configuration problems keep working; raised eagerly at ``Configuration()``
+    construction time, never mid-run.
+    """
+
+
 class CompilationError(ReproError):
     """Raised when a compilation pass fails (e.g. unroutable coupling map)."""

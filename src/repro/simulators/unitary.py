@@ -10,7 +10,7 @@ for small instances and in the test suite.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -65,11 +65,19 @@ def embed_gate_matrix(
     return full
 
 
-def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+def circuit_unitary(
+    circuit: QuantumCircuit,
+    *,
+    interrupt: "Callable[[], bool] | None" = None,
+) -> np.ndarray:
     """Return the system matrix of a unitary circuit.
 
     Trailing read-out measurements are ignored (they do not change the
     functionality being compared); any other non-unitary primitive raises.
+    ``interrupt`` is an optional cancellation probe polled between gate
+    applications (see :class:`repro.core.checkers.base.Checker`); when it
+    fires the build raises ``CheckerInterrupted`` instead of finishing on an
+    abandoned thread.
     """
     if circuit.is_dynamic:
         raise SimulationError(
@@ -79,6 +87,10 @@ def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
     num_qubits = circuit.num_qubits
     unitary = np.eye(1 << num_qubits, dtype=complex)
     for instruction in circuit.remove_final_measurements():
+        if interrupt is not None and interrupt():
+            from repro.core.checkers.base import CheckerInterrupted
+
+            raise CheckerInterrupted
         if instruction.is_barrier or instruction.is_measurement:
             continue
         gate = instruction.operation

@@ -46,6 +46,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["verify", "a", "b", "--method", "magic"])
 
+    def test_method_choices_come_from_checker_registry(self):
+        args = build_parser().parse_args(
+            ["verify", "a.qasm", "b.qasm", "--method", "distribution"]
+        )
+        assert args.method == "distribution"
+
 
 class TestVerifyCommand:
     def test_equivalent_pair_returns_zero(self, qasm_files, capsys):
@@ -64,6 +70,19 @@ class TestVerifyCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["equivalent"] is True
         assert payload["strategy"] == "proportional"
+
+    def test_method_distribution_runs_scheme_two(self, qasm_files, capsys):
+        code = main(
+            [
+                "verify",
+                qasm_files["bv_static"],
+                qasm_files["bv_dynamic"],
+                "--method",
+                "distribution",
+            ]
+        )
+        assert code == 0
+        assert "probably_equivalent" in capsys.readouterr().out
 
     def test_strategy_and_backend_options(self, qasm_files):
         assert (
@@ -123,7 +142,62 @@ class TestPortfolioAndBatch:
             ["verify", qasm_files["bv_static"], qasm_files["bv_dynamic"], "--timeout", "30"]
         )
         assert code == 0
-        assert "portfolio=alternating" in capsys.readouterr().out
+        assert "schedule=alternating" in capsys.readouterr().out
+
+    def test_verify_json_emits_schedule_and_timings(self, qasm_files, capsys):
+        code = main(
+            [
+                "verify",
+                qasm_files["bv_static"],
+                qasm_files["bv_dynamic"],
+                "--portfolio",
+                "simulation,alternating",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"] == "static"
+        assert payload["schedule"] == ["simulation", "alternating"]
+        completed = [a for a in payload["attempts"] if a["status"] == "completed"]
+        assert completed and all(a["time"] > 0.0 for a in completed)
+
+    def test_verify_explicit_method_respected_under_scheduler(self, qasm_files, capsys):
+        # Regression: --method construction --scheduler adaptive used to
+        # silently run the default simulation,alternating lineup instead.
+        code = main(
+            [
+                "verify",
+                qasm_files["bv_static"],
+                qasm_files["bv_dynamic"],
+                "--method",
+                "construction",
+                "--scheduler",
+                "adaptive",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schedule"] == ["construction"]
+        assert payload["decided_by"] == "construction"
+
+    def test_verify_adaptive_scheduler_runs_portfolio(self, qasm_files, capsys):
+        code = main(
+            [
+                "verify",
+                qasm_files["bv_static"],
+                qasm_files["bv_dynamic"],
+                "--scheduler",
+                "adaptive",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"] == "adaptive"
+        assert set(payload["schedule"]) == {"simulation", "alternating"}
+        assert payload["equivalent"] is True
 
     def test_invalid_portfolio_checker_errors(self, qasm_files, capsys):
         code = main(
@@ -145,6 +219,17 @@ class TestPortfolioAndBatch:
         assert payload["num_pairs"] == 2
         assert payload["num_equivalent"] == 1
         assert [entry["index"] for entry in payload["entries"]] == [0, 1]
+        # Regression: batch --json used to drop all checker-level detail.
+        for entry in payload["entries"]:
+            assert entry["decided_by"] is not None
+            assert entry["schedule"] == ["simulation", "alternating"]
+            assert entry["scheduler"] == "static"
+            statuses = {a["method"]: a["status"] for a in entry["checkers"]}
+            assert statuses[entry["decided_by"]] == "completed"
+            decided = next(
+                a for a in entry["checkers"] if a["method"] == entry["decided_by"]
+            )
+            assert decided["time"] > 0.0
 
     def test_batch_isolates_missing_files(self, qasm_files, tmp_path, capsys):
         manifest = tmp_path / "manifest.txt"

@@ -12,10 +12,10 @@ bookkeeping via a spy on ``instruction_to_dd`` plus verdict checks, and the
 
 import pytest
 
-import repro.core.equivalence as equivalence_module
+import repro.core.checkers.alternating as alternating_module
 from repro.circuit import QuantumCircuit
 from repro.core import Configuration, check_equivalence
-from repro.core.equivalence import _inverse_instruction
+from repro.core.checkers.base import inverse_instruction as _inverse_instruction
 
 
 def _equivalent_pair() -> tuple[QuantumCircuit, QuantumCircuit]:
@@ -47,13 +47,13 @@ def _equivalent_pair() -> tuple[QuantumCircuit, QuantumCircuit]:
 def build_spy(monkeypatch):
     """Record every instruction whose gate DD the alternating check builds."""
     calls = []
-    original = equivalence_module.instruction_to_dd
+    original = alternating_module.instruction_to_dd
 
     def wrapper(package, instruction):
         calls.append(instruction)
         return original(package, instruction)
 
-    monkeypatch.setattr(equivalence_module, "instruction_to_dd", wrapper)
+    monkeypatch.setattr(alternating_module, "instruction_to_dd", wrapper)
     return calls
 
 
