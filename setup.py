@@ -7,8 +7,26 @@ console-script entry point is repeated here because the legacy path does not
 read ``[project.scripts]`` from ``pyproject.toml``.
 """
 
+import re
+from pathlib import Path
+
 from setuptools import setup
 
+
+def _version() -> str:
+    """Single-source the version from ``repro.__version__``.
+
+    Parsed textually (not imported) so that building a wheel does not require
+    the package's runtime dependencies; ``repro-qcec --version`` reports the
+    same string.
+    """
+    text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text(
+        encoding="utf-8"
+    )
+    return re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE).group(1)
+
+
 setup(
+    version=_version(),
     entry_points={"console_scripts": ["repro-qcec = repro.cli:main"]},
 )

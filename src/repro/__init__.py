@@ -13,7 +13,10 @@ A from-scratch Python reproduction of Burgholzer & Wille, DAC 2022
 * :mod:`repro.algorithms` — the benchmark algorithms (Bernstein-Vazirani, QFT,
   QPE) in static and dynamic form,
 * :mod:`repro.compilation` — a small compilation stack used for the
-  "verification of compilation results" use case.
+  "verification of compilation results" use case,
+* :mod:`repro.service` — the verification service layer: canonical circuit
+  fingerprints, a persistent verdict cache, and an HTTP job-queue server
+  (``repro-qcec serve``) with the matching client.
 
 Quickstart
 ----------
@@ -56,7 +59,27 @@ from repro.core import (
 )
 from repro.simulators import DDSimulator, Statevector, StatevectorSimulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Service-layer names re-exported lazily (PEP 562): ``import repro`` — and
+#: hence every plain CLI invocation — must not pay for ``http.server`` /
+#: ``urllib`` until the service layer is actually touched.
+_SERVICE_EXPORTS = (
+    "VerdictCache",
+    "VerificationClient",
+    "VerificationServer",
+    "VerificationService",
+    "circuit_fingerprint",
+    "pair_fingerprint",
+)
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BatchResult",
@@ -76,11 +99,17 @@ __all__ = [
     "Schedule",
     "Statevector",
     "StatevectorSimulator",
+    "VerdictCache",
+    "VerificationClient",
+    "VerificationServer",
+    "VerificationService",
     "__version__",
     "check_behavioural_equivalence",
     "check_equivalence",
+    "circuit_fingerprint",
     "circuit_from_qasm",
     "circuit_to_qasm",
+    "pair_fingerprint",
     "extract_distribution",
     "extract_pair_features",
     "register_checker",

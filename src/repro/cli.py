@@ -11,9 +11,12 @@ Usage (after ``pip install -e .``)::
     repro-qcec verify static.qasm dynamic.qasm --scheduler adaptive
     repro-qcec batch manifest.txt --max-workers 8 --scheduler adaptive --json
     repro-qcec batch manifest.txt --executor process --chunk-size 4 --max-workers 8
+    repro-qcec batch manifest.txt --cache-path verdicts.jsonl      # warm re-runs
+    repro-qcec serve --port 8111 --cache-path verdicts.jsonl       # job-queue server
     repro-qcec verify-behaviour static.qasm dynamic.qasm
     repro-qcec extract dynamic.qasm --backend dd
     repro-qcec show circuit.qasm
+    repro-qcec --version
 
 or equivalently ``python -m repro.cli ...``.
 
@@ -30,6 +33,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import __version__
 from repro.circuit import QuantumCircuit, circuit_from_qasm
 from repro.core import (
     BatchEntry,
@@ -61,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-qcec",
         description="Equivalence checking of (dynamic) quantum circuits given as OpenQASM 2 files.",
     )
+    # Single-sourced from repro.__version__ (setup.py reads the same string)
+    # so deployed servers and clients can be version-checked.
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     verify = subparsers.add_parser(
@@ -78,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--backend", default="dd", choices=["dd", "dense"])
     verify.add_argument("--tolerance", type=float, default=1e-7)
+    verify.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed of the simulative stimuli (fixed seeds make verdicts cacheable)",
+    )
     verify.add_argument(
         "--dense-cutoff",
         type=int,
@@ -136,6 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--backend", default="dd", choices=["dd", "dense"])
     batch.add_argument("--tolerance", type=float, default=1e-7)
     batch.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "seed of the simulative stimuli; without it, unseeded "
+            "PROBABLY_EQUIVALENT verdicts are never persisted to --cache-path "
+            "(fresh stimuli could still falsify them)"
+        ),
+    )
+    batch.add_argument(
         "--dense-cutoff",
         type=int,
         default=0,
@@ -177,7 +202,79 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--checker-timeout", type=float, default=None, help="per-checker budget in seconds"
     )
+    batch.add_argument(
+        "--verdict-cache",
+        action="store_true",
+        help=(
+            "consult the verdict cache before scheduling checkers and dedupe "
+            "identical pairs within the batch (each distinct pair runs once)"
+        ),
+    )
+    batch.add_argument(
+        "--cache-path",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent JSON-lines tier of the verdict cache (implies "
+            "--verdict-cache; verdicts survive across invocations)"
+        ),
+    )
     batch.add_argument("--json", action="store_true")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP verification job-queue server (submit/status/result/stats)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8111, help="listen port (0 binds an ephemeral port)"
+    )
+    serve.add_argument(
+        "--portfolio",
+        default=None,
+        metavar="CHECKERS",
+        help="comma-separated checkers (default: simulation,alternating)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        default="adaptive",
+        choices=list(available_schedulers()),
+        help="portfolio scheduling policy (adaptive by default for mixed traffic)",
+    )
+    serve.add_argument("--max-workers", type=int, default=4)
+    serve.add_argument("--seed", type=int, default=0, help="stimuli seed (fixed so identical submissions are cacheable)")
+    serve.add_argument("--tolerance", type=float, default=1e-7)
+    serve.add_argument("--timeout", type=float, default=None, help="overall budget per job in seconds")
+    serve.add_argument(
+        "--checker-timeout", type=float, default=None, help="per-checker budget in seconds"
+    )
+    serve.add_argument(
+        "--cache-path",
+        default=None,
+        metavar="PATH",
+        help="persistent JSON-lines verdict cache (verdicts survive restarts)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="LRU bound of the in-memory verdict-cache tier",
+    )
+    serve.add_argument(
+        "--gate-cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bound the per-package gate-DD caches (long-lived workers)",
+    )
+    serve.add_argument(
+        "--gate-cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire memoized gate DDs older than this (lazy, on lookup)",
+    )
 
     behaviour = subparsers.add_parser(
         "verify-behaviour",
@@ -220,9 +317,12 @@ def _load_manifest(path: str) -> list[tuple[Path, Path]]:
             entries = json.loads(text)
         except json.JSONDecodeError as error:
             raise ReproError(f"manifest {path!r} is not valid JSON: {error}") from error
-        for entry in entries:
+        for position, entry in enumerate(entries):
             if not isinstance(entry, (list, tuple)) or len(entry) != 2:
-                raise ReproError(f"manifest entries must be [first, second] pairs, got {entry!r}")
+                raise ReproError(
+                    f"manifest entry {position} must be a [first, second] pair, "
+                    f"got {entry!r}"
+                )
             pairs.append((base / str(entry[0]), base / str(entry[1])))
     else:
         for lineno, line in enumerate(text.splitlines(), start=1):
@@ -240,33 +340,10 @@ def _load_manifest(path: str) -> list[tuple[Path, Path]]:
     return pairs
 
 
-def _attempt_payloads(result) -> list[dict]:
-    """Per-checker detail of a portfolio run (status, verdict, wall-time)."""
-    return [
-        {
-            "method": attempt.method,
-            "status": attempt.status,
-            "criterion": attempt.result.criterion.value if attempt.result else None,
-            "time": attempt.time_taken,
-            "error": attempt.error,
-        }
-        for attempt in result.attempts
-    ]
-
-
 def _portfolio_payload(name_first: str, name_second: str, result) -> dict:
-    return {
-        "first": name_first,
-        "second": name_second,
-        "criterion": result.criterion.value,
-        "equivalent": result.equivalent,
-        "decided_by": result.decided_by,
-        "reason": result.reason,
-        "scheduler": result.scheduler,
-        "schedule": result.schedule,
-        "attempts": _attempt_payloads(result),
-        "total_time": result.total_time,
-    }
+    # The payload itself lives on PortfolioResult.to_json (shared with the
+    # job-queue server); the CLI only adds the operand names.
+    return {"first": name_first, "second": name_second, **result.to_json()}
 
 
 def _command_verify(args: argparse.Namespace) -> int:
@@ -277,6 +354,7 @@ def _command_verify(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         backend=args.backend,
         tolerance=args.tolerance,
+        seed=args.seed,
         dense_cutoff=args.dense_cutoff,
         portfolio=_parse_portfolio(args.portfolio),
         scheduler=args.scheduler,
@@ -367,6 +445,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         backend=args.backend,
         tolerance=args.tolerance,
+        seed=args.seed,
         dense_cutoff=args.dense_cutoff,
         portfolio=_parse_portfolio(args.portfolio),
         scheduler=args.scheduler,
@@ -376,6 +455,8 @@ def _command_batch(args: argparse.Namespace) -> int:
         executor=args.executor,
         batch_chunk_size=args.chunk_size,
         gate_cache_size=args.gate_cache_size,
+        verdict_cache=args.verdict_cache,
+        cache_path=args.cache_path,
     )
     manager = EquivalenceCheckingManager(configuration)
     batch = manager.verify_batch(circuits)
@@ -395,8 +476,12 @@ def _command_batch(args: argparse.Namespace) -> int:
             max_workers=batch.max_workers,
             executor=batch.executor,
         )
+    cache_stats = (
+        manager.verdict_cache.statistics() if manager.verdict_cache is not None else None
+    )
     if args.json:
         payload = batch.summary()
+        payload["cache"] = cache_stats
         payload["entries"] = [
             {
                 "index": entry.index,
@@ -407,7 +492,12 @@ def _command_batch(args: argparse.Namespace) -> int:
                 "decided_by": entry.result.decided_by if entry.result else None,
                 "scheduler": entry.result.scheduler if entry.result else None,
                 "schedule": entry.result.schedule if entry.result else None,
-                "checkers": _attempt_payloads(entry.result) if entry.result else None,
+                "cached": entry.result.cached if entry.result else None,
+                "checkers": (
+                    [attempt.to_json() for attempt in entry.result.attempts]
+                    if entry.result
+                    else None
+                ),
                 "error": entry.error,
                 "time": entry.time_taken,
             }
@@ -431,6 +521,12 @@ def _command_batch(args: argparse.Namespace) -> int:
             f"{batch.num_failed} failed, t={batch.total_time:.6f}s "
             f"(workers={batch.max_workers}, executor={batch.executor})"
         )
+        if cache_stats is not None:
+            print(
+                f"cache: {cache_stats['hits']} hits, {cache_stats['misses']} misses, "
+                f"{cache_stats['stores']} stores, "
+                f"{cache_stats['persistent_entries']} persisted"
+            )
     if not batch.any_verdict:
         # Mirror `verify`: every pair failed or stayed undecided, so nothing
         # was actually checked — that is a failed run (2), not a
@@ -442,6 +538,43 @@ def _command_batch(args: argparse.Namespace) -> int:
         )
         return 2
     return 0 if batch.all_equivalent else 1
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here so plain verify/batch invocations never pay for the
+    # service layer.
+    from repro.service.server import VerificationServer
+
+    configuration = Configuration(
+        portfolio=_parse_portfolio(args.portfolio),
+        scheduler=args.scheduler,
+        max_workers=args.max_workers,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        timeout=args.timeout,
+        checker_timeout=args.checker_timeout,
+        verdict_cache=True,
+        cache_path=args.cache_path,
+        cache_size=args.cache_size,
+        gate_cache_size=args.gate_cache_size,
+        gate_cache_ttl=args.gate_cache_ttl,
+    )
+    server = VerificationServer(
+        host=args.host, port=args.port, configuration=configuration
+    )
+    cache = args.cache_path or "in-memory"
+    print(
+        f"repro-qcec {__version__} serving on {server.url} "
+        f"(workers={args.max_workers}, scheduler={args.scheduler}, cache={cache})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
 
 
 def _command_verify_behaviour(args: argparse.Namespace) -> int:
@@ -501,6 +634,7 @@ def _command_show(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "verify": _command_verify,
     "batch": _command_batch,
+    "serve": _command_serve,
     "verify-behaviour": _command_verify_behaviour,
     "extract": _command_extract,
     "show": _command_show,

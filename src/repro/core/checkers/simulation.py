@@ -46,6 +46,7 @@ class SimulationChecker(Checker):
             seed=config.seed,
             gate_cache=config.gate_cache,
             gate_cache_size=config.gate_cache_size,
+            gate_cache_ttl=config.gate_cache_ttl,
             dense_cutoff=config.dense_cutoff,
             interrupt=interrupt,
         )

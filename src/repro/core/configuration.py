@@ -74,6 +74,13 @@ class Configuration:
         first.  ``None`` (the default) keeps the caches unbounded, which is
         fine for one-shot checks; long-lived worker processes should set a
         bound so their packages do not grow without limit.
+    gate_cache_ttl:
+        Time-based expiry (seconds) for the memoized gate DDs and operator
+        chains: an entry older than the TTL is dropped lazily on lookup
+        (expiry counters in ``DDPackage.statistics()``).  ``None`` (the
+        default) never expires entries.  Meant for long-lived service
+        workers whose traffic mix drifts over time — stale gate DDs age out
+        instead of pinning memory forever.
     dense_cutoff:
         Hybrid dense-subtree cutoff of the DD kernels: sub-diagrams rooted
         strictly below this level are evaluated as dense numpy blocks
@@ -116,6 +123,20 @@ class Configuration:
         ``executor == "process"``.  Larger chunks amortize pickling and
         process-dispatch overhead at the cost of coarser load balancing.
         Ignored by the thread executor.
+    verdict_cache:
+        Whether the :class:`~repro.core.manager.EquivalenceCheckingManager`
+        consults a :class:`~repro.service.cache.VerdictCache` before
+        scheduling any checker, keyed by the pair's canonical fingerprint
+        plus the verdict-relevant configuration fields (see
+        :mod:`repro.service.fingerprint`).  Also enables deduplication of
+        identical pairs *within* a batch: each distinct pair runs once and
+        the verdict fans out to its duplicates in input order.
+    cache_path:
+        Path of the verdict cache's persistent JSON-lines tier.  Setting it
+        implies ``verdict_cache``; verdicts then survive process restarts.
+    cache_size:
+        LRU bound of the verdict cache's in-memory tier (``None`` keeps it
+        unbounded).
     """
 
     method: str = "alternating"
@@ -128,6 +149,7 @@ class Configuration:
     seed: int | None = None
     gate_cache: bool = True
     gate_cache_size: int | None = None
+    gate_cache_ttl: float | None = None
     dense_cutoff: int = 0
     portfolio: tuple[str, ...] | None = None
     scheduler: str = "static"
@@ -136,6 +158,9 @@ class Configuration:
     max_workers: int = 4
     executor: str = "thread"
     batch_chunk_size: int = 1
+    verdict_cache: bool = False
+    cache_path: str | None = None
+    cache_size: int | None = 1024
 
     def __post_init__(self) -> None:
         known_checkers = _registered_checkers()
@@ -192,8 +217,17 @@ class Configuration:
             raise ConfigurationError("batch_chunk_size must be at least 1")
         if self.gate_cache_size is not None and self.gate_cache_size < 1:
             raise ConfigurationError("gate_cache_size must be at least 1 (or None)")
+        if self.gate_cache_ttl is not None and self.gate_cache_ttl <= 0:
+            raise ConfigurationError("gate_cache_ttl must be positive (or None)")
         if self.dense_cutoff < 0:
             raise ConfigurationError("dense_cutoff must be non-negative (0 disables)")
+        if self.cache_size is not None and self.cache_size < 1:
+            raise ConfigurationError("cache_size must be at least 1 (or None)")
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the manager consults a verdict cache (flag or persistent path)."""
+        return self.verdict_cache or self.cache_path is not None
 
     def updated(self, **overrides) -> "Configuration":
         """Return a copy with the given fields replaced."""

@@ -46,6 +46,7 @@ import concurrent.futures
 import threading
 import time
 from collections.abc import Sequence
+from dataclasses import replace
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.core import checkers as checker_registry
@@ -102,12 +103,33 @@ class EquivalenceCheckingManager:
     run, and ``max_workers`` sizes the worker pool of :meth:`verify_batch`.
     """
 
-    def __init__(self, configuration: Configuration | None = None, **overrides):
+    def __init__(
+        self,
+        configuration: Configuration | None = None,
+        *,
+        cache=None,
+        **overrides,
+    ):
         configuration = configuration or Configuration()
         if overrides:
             configuration = configuration.updated(**overrides)
         self.configuration = configuration
         self._scheduler = resolve_scheduler(configuration.scheduler)()
+        # The verdict cache is shared mutable state: callers that manage
+        # several managers (the job-queue server, tests) can inject one
+        # instance via ``cache=``; otherwise the manager builds its own from
+        # the configuration.  Imported lazily — repro.service sits on top of
+        # this module.
+        if cache is not None:
+            self.verdict_cache = cache
+        elif configuration.cache_enabled:
+            from repro.service.cache import VerdictCache
+
+            self.verdict_cache = VerdictCache(
+                max_entries=configuration.cache_size, path=configuration.cache_path
+            )
+        else:
+            self.verdict_cache = None
 
     @property
     def portfolio(self) -> tuple[str, ...]:
@@ -131,6 +153,7 @@ class EquivalenceCheckingManager:
         *,
         qubit_permutation: dict[int, int] | None = None,
         schedule: Schedule | None = None,
+        fingerprint: str | None = None,
     ) -> PortfolioResult:
         """Check one circuit pair with the scheduled checker lineup.
 
@@ -146,7 +169,89 @@ class EquivalenceCheckingManager:
         ``schedule`` injects a precomputed scheduling decision (the
         process-pool batch path ships pickled schedules so workers and parent
         agree); by default the configured scheduler decides here.
+
+        With the verdict cache enabled (``Configuration.verdict_cache`` /
+        ``cache_path``), the pair's fingerprint is consulted *before* any
+        scheduling: a hit returns the stored verdict (``result.cached`` is
+        True) without running a single checker, and a conclusive fresh run is
+        stored for next time.  Permuted runs and runs with an injected
+        ``schedule`` bypass the cache entirely — the fingerprint commits to
+        neither, so serving or storing them could cross verdicts between
+        different checks.  ``fingerprint`` injects a key the caller already
+        computed with :func:`~repro.service.fingerprint.pair_fingerprint`
+        for this pair under this configuration (the job-queue server
+        fingerprints every submission for dedup; recomputing here would
+        double the dominant cost of a cache hit).
         """
+        if qubit_permutation is not None or schedule is not None:
+            fingerprint = None
+        elif fingerprint is not None and not self._fingerprints_sound():
+            # A caller-supplied key cannot be trusted either when the
+            # tolerance out-resolves the canonical form.
+            fingerprint = None
+        elif self.verdict_cache is not None and fingerprint is None:
+            fingerprint = self._pair_fingerprint(first, second)
+        if self.verdict_cache is not None and fingerprint is not None:
+            cached = self.verdict_cache.get(fingerprint)
+            if cached is not None:
+                return cached
+        result = self._run_uncached(
+            first, second, qubit_permutation=qubit_permutation, schedule=schedule
+        )
+        if (
+            self.verdict_cache is not None
+            and fingerprint is not None
+            and self._cacheable(result)
+        ):
+            self.verdict_cache.put(fingerprint, result)
+        return result
+
+    def _cacheable(self, result: PortfolioResult) -> bool:
+        """Whether a fresh result may be stored without risking verdict drift.
+
+        ``PROBABLY_EQUIVALENT`` under ``seed=None`` is a pass of *freshly
+        drawn* random stimuli: re-running could legitimately find a
+        counterexample, so freezing one lucky pass in the cache would let a
+        hit change a verdict.  With a fixed seed the stimuli are part of the
+        fingerprint and the verdict is reproducible.  (``NO_INFORMATION`` is
+        additionally refused by :meth:`VerdictCache.put` itself.)
+        """
+        return not (
+            result.criterion is EquivalenceCriterion.PROBABLY_EQUIVALENT
+            and self.configuration.seed is None
+        )
+
+    def _fingerprints_sound(self) -> bool:
+        from repro.service.fingerprint import fingerprints_sound_for
+
+        return fingerprints_sound_for(self.configuration)
+
+    def _pair_fingerprint(self, first: QuantumCircuit, second: QuantumCircuit) -> str | None:
+        """The pair's cache key, or None when fingerprinting is unavailable.
+
+        Returns None — bypassing the cache rather than failing the
+        verification — when a circuit cannot be canonicalized (e.g. an
+        exotic third-party operation) or when ``Configuration.tolerance`` is
+        at or below the canonical form's angle resolution, where two
+        circuits sharing a fingerprint could in principle be told apart.
+        """
+        from repro.service.fingerprint import pair_fingerprint
+
+        if not self._fingerprints_sound():
+            return None
+        try:
+            return pair_fingerprint(first, second, self.configuration)
+        except Exception:  # noqa: BLE001 - cache bypass, never a failure
+            return None
+
+    def _run_uncached(
+        self,
+        first: QuantumCircuit,
+        second: QuantumCircuit,
+        *,
+        qubit_permutation: dict[int, int] | None = None,
+        schedule: Schedule | None = None,
+    ) -> PortfolioResult:
         config = self.configuration
         start = time.perf_counter()
         if schedule is None:
@@ -332,11 +437,20 @@ class EquivalenceCheckingManager:
         ``batch_chunk_size`` pairs; see :mod:`repro.core.workers`).  Entries
         come back in input order either way, and a pair that raises is
         recorded as failed without affecting the other pairs.
+
+        With the verdict cache enabled, identical pairs *within* the batch
+        are deduplicated by fingerprint: each distinct pair runs once (on
+        whichever executor is configured) and its verdict fans out to the
+        duplicates through the cache, preserving input order and per-pair
+        error isolation (a failing pair only ever "fails" its own
+        duplicates, which are the same input).
         """
         start = time.perf_counter()
         pairs = list(pairs)
         config = self.configuration
-        if config.executor == "process":
+        if self.verdict_cache is not None:
+            entries = self._batch_entries_deduplicated(pairs)
+        elif config.executor == "process":
             entries = self._batch_entries_processes(pairs)
         else:
             entries = self._batch_entries_threads(pairs)
@@ -347,14 +461,107 @@ class EquivalenceCheckingManager:
             executor=config.executor,
         )
 
-    def _batch_entries_threads(
+    def _batch_entries_deduplicated(
         self, pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]]
+    ) -> list[BatchEntry]:
+        """Run each distinct fingerprint once, fan verdicts out to duplicates.
+
+        Distinct representatives are first looked up in the verdict cache
+        here in the parent — on both executors, so a warm persistent cache
+        short-circuits process batches too (workers run cache-less).  The
+        remaining misses run through the normal thread/process batch path
+        (entries remapped to their original indices, verdicts stored by the
+        parent); every duplicate is then served from the cache — a real
+        lookup, so the cache statistics account for the saved work.  A pair
+        whose fingerprinting fails is treated as unique and runs normally.
+        """
+        fingerprints = [self._pair_fingerprint(first, second) for first, second in pairs]
+        representative: dict[str, int] = {}
+        run_indices: list[int] = []
+        for index, fingerprint in enumerate(fingerprints):
+            if fingerprint is None or fingerprint not in representative:
+                if fingerprint is not None:
+                    representative[fingerprint] = index
+                run_indices.append(index)
+
+        entries: list[BatchEntry | None] = [None] * len(pairs)
+        dispatch_indices: list[int] = []
+        for index in run_indices:
+            fingerprint = fingerprints[index]
+            cached = (
+                self.verdict_cache.get(fingerprint) if fingerprint is not None else None
+            )
+            if cached is None:
+                dispatch_indices.append(index)
+                continue
+            first, second = pairs[index]
+            entries[index] = BatchEntry(
+                index=index,
+                name_first=getattr(first, "name", None) or f"first[{index}]",
+                name_second=getattr(second, "name", None) or f"second[{index}]",
+                result=cached,
+            )
+
+        dispatch_pairs = [pairs[index] for index in dispatch_indices]
+        if self.configuration.executor == "process":
+            unique_entries = self._batch_entries_processes(dispatch_pairs)
+        else:
+            # The parent already consulted the cache for every dispatched
+            # pair, so the per-run consult would only re-count the misses.
+            unique_entries = self._batch_entries_threads(
+                dispatch_pairs, consult_cache=False
+            )
+        for position, entry in zip(dispatch_indices, unique_entries):
+            entry.index = position
+            entries[position] = entry
+            # Verdicts are stored by the parent on both executors (process
+            # workers are cache-less by design) so duplicates, later batches
+            # and the persistent journal all see them.
+            fingerprint = fingerprints[position]
+            if (
+                fingerprint is not None
+                and entry.result is not None
+                and self._cacheable(entry.result)
+            ):
+                self.verdict_cache.put(fingerprint, entry.result)
+
+        for index, fingerprint in enumerate(fingerprints):
+            if entries[index] is not None:
+                continue
+            started = time.perf_counter()
+            first, second = pairs[index]
+            entry = BatchEntry(
+                index=index,
+                name_first=getattr(first, "name", None) or f"first[{index}]",
+                name_second=getattr(second, "name", None) or f"second[{index}]",
+            )
+            source = entries[representative[fingerprint]]
+            cached = self.verdict_cache.get(fingerprint) if source.result else None
+            if cached is not None:
+                entry.result = cached
+            elif source.result is not None:
+                # Uncacheable representative (NO_INFORMATION, or an unseeded
+                # PROBABLY_EQUIVALENT that must not persist): replicate its
+                # verdict so duplicates still agree entry-for-entry.
+                entry.result = replace(source.result)
+            else:
+                entry.error = source.error
+            entry.time_taken = time.perf_counter() - started
+            entries[index] = entry
+        return entries
+
+    def _batch_entries_threads(
+        self,
+        pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]],
+        consult_cache: bool = True,
     ) -> list[BatchEntry]:
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=self.configuration.max_workers, thread_name_prefix="verify-batch"
         ) as executor:
             futures = [
-                executor.submit(self._batch_entry, index, first, second)
+                executor.submit(
+                    self._batch_entry, index, first, second, consult_cache=consult_cache
+                )
                 for index, (first, second) in enumerate(pairs)
             ]
             return [future.result() for future in futures]
@@ -422,6 +629,8 @@ class EquivalenceCheckingManager:
         first: QuantumCircuit,
         second: QuantumCircuit,
         schedule: Schedule | None = None,
+        *,
+        consult_cache: bool = True,
     ) -> BatchEntry:
         started = time.perf_counter()
         entry = BatchEntry(
@@ -430,7 +639,10 @@ class EquivalenceCheckingManager:
             name_second=getattr(second, "name", None) or f"second[{index}]",
         )
         try:
-            entry.result = self.run(first, second, schedule=schedule)
+            if consult_cache:
+                entry.result = self.run(first, second, schedule=schedule)
+            else:
+                entry.result = self._run_uncached(first, second, schedule=schedule)
         except Exception as error:  # noqa: BLE001 - isolate per-pair failures
             entry.error = f"{type(error).__name__}: {error}"
         entry.time_taken = time.perf_counter() - started

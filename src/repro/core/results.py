@@ -136,6 +136,16 @@ class CheckerAttempt:
     error: str | None = None
     time_taken: float = 0.0
 
+    def to_json(self) -> dict:
+        """Per-checker detail (status, verdict, wall-time) as a JSON-friendly dict."""
+        return {
+            "method": self.method,
+            "status": self.status,
+            "criterion": self.result.criterion.value if self.result else None,
+            "time": self.time_taken,
+            "error": self.error,
+        }
+
 
 @dataclass
 class PortfolioResult:
@@ -167,6 +177,11 @@ class PortfolioResult:
         JSON-friendly circuit-pair feature vector the scheduling decision was
         based on (``None`` for schedulers that do not extract features, such
         as ``static``).
+    cached:
+        Whether this result was served from the verdict cache
+        (:class:`~repro.service.cache.VerdictCache`) instead of running any
+        checker.  Cached results carry the stored essentials only — attempt
+        ``details`` payloads are not retained across the cache.
     """
 
     criterion: EquivalenceCriterion
@@ -177,6 +192,7 @@ class PortfolioResult:
     schedule: list[str] = field(default_factory=list)
     scheduler: str = "static"
     features: dict | None = None
+    cached: bool = False
 
     @property
     def equivalent(self) -> bool:
@@ -190,6 +206,20 @@ class PortfolioResult:
             if attempt.method == self.decided_by and attempt.result is not None:
                 return attempt.result
         return None
+
+    def to_json(self) -> dict:
+        """JSON-friendly payload (shared by the CLI and the service layer)."""
+        return {
+            "criterion": self.criterion.value,
+            "equivalent": self.equivalent,
+            "decided_by": self.decided_by,
+            "reason": self.reason,
+            "scheduler": self.scheduler,
+            "schedule": list(self.schedule),
+            "cached": self.cached,
+            "attempts": [attempt.to_json() for attempt in self.attempts],
+            "total_time": self.total_time,
+        }
 
     def __str__(self) -> str:
         return (

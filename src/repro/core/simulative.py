@@ -49,6 +49,7 @@ def run_simulative_check(
     seed: int | None = None,
     gate_cache: bool = True,
     gate_cache_size: int | None = None,
+    gate_cache_ttl: float | None = None,
     dense_cutoff: int = 0,
     interrupt: "Callable[[], bool] | None" = None,
 ) -> tuple[bool, dict]:
@@ -81,6 +82,7 @@ def run_simulative_check(
             num_qubits,
             gate_cache=gate_cache,
             gate_cache_size=gate_cache_size,
+            gate_cache_ttl=gate_cache_ttl,
             dense_cutoff=dense_cutoff,
         )
         if backend == "dd"

@@ -76,13 +76,22 @@ def verify_work_unit(unit: BatchWorkUnit) -> list[BatchEntry]:
     Top-level (hence picklable by reference) entry point for
     ``ProcessPoolExecutor``.  Rebuilds a manager from the unit's configuration
     — forced onto the thread executor so a worker can never recursively spawn
-    process pools — and runs each pair through the normal portfolio flow.
+    process pools, and with the verdict cache disabled: worker caches would be
+    process-local (useless after the pool winds down) and concurrent appends
+    to a shared ``cache_path`` journal from many workers could interleave.
+    The parent's :meth:`~repro.core.manager.EquivalenceCheckingManager.
+    verify_batch` dedupes before chunking and stores the workers' verdicts
+    into its own cache after reassembly.
     """
     # Imported here, not at module top, to avoid a circular import with
     # repro.core.manager (which imports this module for chunking).
     from repro.core.manager import EquivalenceCheckingManager
 
-    manager = EquivalenceCheckingManager(unit.configuration.updated(executor="thread"))
+    manager = EquivalenceCheckingManager(
+        unit.configuration.updated(
+            executor="thread", verdict_cache=False, cache_path=None
+        )
+    )
     return [
         manager._batch_entry(index, first, second, unit.schedules.get(index))
         for index, first, second in unit.pairs

@@ -60,6 +60,7 @@ disables the hybrid path.
 from __future__ import annotations
 
 import math
+import time
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 
@@ -95,12 +96,15 @@ class DDPackage:
         tolerance: float = DEFAULT_TOLERANCE,
         gate_cache: bool = True,
         gate_cache_size: int | None = None,
+        gate_cache_ttl: float | None = None,
         dense_cutoff: int = 0,
     ):
         if num_qubits < 1:
             raise DDError("a DD package needs at least one qubit")
         if gate_cache_size is not None and gate_cache_size < 1:
             raise DDError("gate_cache_size must be at least 1 (or None for unbounded)")
+        if gate_cache_ttl is not None and gate_cache_ttl <= 0:
+            raise DDError("gate_cache_ttl must be positive (or None for no expiry)")
         if dense_cutoff < 0:
             raise DDError("dense_cutoff must be non-negative (0 disables the hybrid kernels)")
         self.num_qubits = num_qubits
@@ -126,12 +130,24 @@ class DDPackage:
         # entry.  ``None`` keeps them unbounded (fine for one-shot checks;
         # long-lived worker processes should set a bound).
         self.gate_cache_size = gate_cache_size
+        # Time-based expiry, checked *lazily* on lookup (no sweeper thread —
+        # this is the pattern long-lived service workers need: entries whose
+        # traffic went away age out the next time anything asks for them).
+        # Timestamps live in side dicts so the TTL-off hot path stays the
+        # plain OrderedDict access the PR 3 kernels were tuned for; the
+        # clock is an attribute so tests can inject a fake one.
+        self.gate_cache_ttl = gate_cache_ttl
+        self._clock = time.monotonic
         self._gate_cache: OrderedDict = OrderedDict()
+        self._gate_cache_times: dict = {}
         self._gate_cache_hits = 0
         self._gate_cache_misses = 0
         self._gate_cache_evictions = 0
+        self._gate_cache_expirations = 0
         self._chain_cache: OrderedDict = OrderedDict()
+        self._chain_cache_times: dict = {}
         self._chain_cache_evictions = 0
+        self._chain_cache_expirations = 0
 
     def __reduce__(self):
         raise TypeError(
@@ -366,12 +382,23 @@ class DDPackage:
             )
             cached = self._chain_cache.get(key)
             if cached is not None:
-                self._chain_cache.move_to_end(key)
-                return cached
+                if self.gate_cache_ttl is not None and (
+                    self._clock() - self._chain_cache_times[key] > self.gate_cache_ttl
+                ):
+                    del self._chain_cache[key]
+                    del self._chain_cache_times[key]
+                    self._chain_cache_expirations += 1
+                else:
+                    self._chain_cache.move_to_end(key)
+                    return cached
         edge = self._build_operator_chain(operators)
         if key is not None:
             self._chain_cache[key] = edge
-            self._chain_cache_evictions += self._evict_lru(self._chain_cache)
+            if self.gate_cache_ttl is not None:
+                self._chain_cache_times[key] = self._clock()
+            self._chain_cache_evictions += self._evict_lru(
+                self._chain_cache, self._chain_cache_times
+            )
         return edge
 
     def _build_operator_chain(self, operators: Mapping[int, np.ndarray]) -> MEdge:
@@ -924,12 +951,23 @@ class DDPackage:
 
         Keys are hashable gate descriptions — ``(gate, qubits)`` as produced by
         :func:`repro.dd.circuits.instruction_to_dd`.  A hit marks the entry as
-        most recently used.  Hit/miss/eviction counters feed :meth:`statistics`.
+        most recently used.  With ``gate_cache_ttl`` set, an entry older than
+        the TTL is dropped here (lazily, on lookup) and counted as both an
+        expiration and a miss.  Hit/miss/eviction/expiry counters feed
+        :meth:`statistics`.
         """
         if not self.gate_cache_enabled:
             return None
         cached = self._gate_cache.get(key)
         if cached is None:
+            self._gate_cache_misses += 1
+            return None
+        if self.gate_cache_ttl is not None and (
+            self._clock() - self._gate_cache_times[key] > self.gate_cache_ttl
+        ):
+            del self._gate_cache[key]
+            del self._gate_cache_times[key]
+            self._gate_cache_expirations += 1
             self._gate_cache_misses += 1
             return None
         self._gate_cache_hits += 1
@@ -940,19 +978,25 @@ class DDPackage:
         """Memoize the matrix DD of a gate (no-op when the cache is disabled).
 
         When ``gate_cache_size`` is set, storing beyond the bound evicts the
-        least recently used entries so long-lived packages stay bounded.
+        least recently used entries so long-lived packages stay bounded;
+        ``gate_cache_ttl`` additionally stamps the entry for lazy expiry.
         """
         if self.gate_cache_enabled:
             self._gate_cache[key] = edge
-            self._gate_cache_evictions += self._evict_lru(self._gate_cache)
+            if self.gate_cache_ttl is not None:
+                self._gate_cache_times[key] = self._clock()
+            self._gate_cache_evictions += self._evict_lru(
+                self._gate_cache, self._gate_cache_times
+            )
 
-    def _evict_lru(self, cache: OrderedDict) -> int:
+    def _evict_lru(self, cache: OrderedDict, times: dict) -> int:
         """Trim ``cache`` down to ``gate_cache_size``; returns evicted count."""
         if self.gate_cache_size is None:
             return 0
         evicted = 0
         while len(cache) > self.gate_cache_size:
-            cache.popitem(last=False)
+            key, _ = cache.popitem(last=False)
+            times.pop(key, None)
             evicted += 1
         return evicted
 
@@ -1030,6 +1074,9 @@ class DDPackage:
             "gate_cache_misses": self._gate_cache_misses,
             "gate_cache_evictions": self._gate_cache_evictions,
             "chain_cache_evictions": self._chain_cache_evictions,
+            "gate_cache_ttl": self.gate_cache_ttl,
+            "gate_cache_expirations": self._gate_cache_expirations,
+            "chain_cache_expirations": self._chain_cache_expirations,
             "gate_cache_hit_ratio": (
                 self._gate_cache_hits / (self._gate_cache_hits + self._gate_cache_misses)
                 if (self._gate_cache_hits + self._gate_cache_misses)
@@ -1053,4 +1100,6 @@ class DDPackage:
         self._dense_v_cache.clear()
         self._dense_m_cache.clear()
         self._gate_cache.clear()
+        self._gate_cache_times.clear()
         self._chain_cache.clear()
+        self._chain_cache_times.clear()

@@ -52,3 +52,15 @@ class ConfigurationError(EquivalenceCheckingError):
 
 class CompilationError(ReproError):
     """Raised when a compilation pass fails (e.g. unroutable coupling map)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the verification service layer (server, client, job queue).
+
+    Carries the HTTP status code the failure maps to (clients re-raise the
+    server's code; in-process users get the would-be code for context).
+    """
+
+    def __init__(self, message: str, status: int = 500) -> None:
+        super().__init__(message)
+        self.status = status

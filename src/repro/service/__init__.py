@@ -1,0 +1,44 @@
+"""Verification service layer: fingerprints, verdict cache, job-queue server.
+
+The PR 1-4 stack made one *process* fast at verifying circuit pairs; this
+subsystem turns it into a *service* for real compilation flows, where the
+same pairs are re-verified over and over as toolchains iterate:
+
+* :mod:`repro.service.fingerprint` — a canonical, collision-resistant
+  structural hash for circuits and ordered circuit pairs, keyed together
+  with the verdict-relevant :class:`~repro.core.configuration.Configuration`
+  fields so a cache hit can never change a verdict;
+* :mod:`repro.service.cache` — :class:`VerdictCache`, an in-memory LRU tier
+  with an optional persistent JSON-lines tier
+  (``Configuration.cache_path``) storing
+  :class:`~repro.core.results.PortfolioResult` essentials;
+* :mod:`repro.service.server` — a stdlib-only HTTP job-queue server
+  (``repro-qcec serve``) with submit/status/result/stats endpoints and
+  request deduplication by fingerprint;
+* :mod:`repro.service.client` — the matching :class:`VerificationClient`.
+
+The cache is also consulted by
+:class:`~repro.core.manager.EquivalenceCheckingManager` itself
+(``Configuration.verdict_cache`` / ``cache_path``), which additionally
+dedupes identical pairs *within* a batch.
+"""
+
+from repro.service.cache import CachedVerdict, VerdictCache
+from repro.service.client import VerificationClient
+from repro.service.fingerprint import (
+    circuit_fingerprint,
+    configuration_fingerprint,
+    pair_fingerprint,
+)
+from repro.service.server import VerificationServer, VerificationService
+
+__all__ = [
+    "CachedVerdict",
+    "VerdictCache",
+    "VerificationClient",
+    "VerificationServer",
+    "VerificationService",
+    "circuit_fingerprint",
+    "configuration_fingerprint",
+    "pair_fingerprint",
+]

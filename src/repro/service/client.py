@@ -1,0 +1,123 @@
+"""A stdlib-only client for the verification job-queue server.
+
+Mirrors :mod:`repro.service.server`'s endpoints one method per endpoint,
+plus the ``submit → poll → result`` convenience loop every caller would
+otherwise rewrite.  Accepts circuits as :class:`~repro.circuit.circuit.
+QuantumCircuit` objects (exported to QASM on the wire) or as raw OpenQASM 2
+strings.
+
+Example
+-------
+>>> from repro.service import VerificationClient, VerificationServer
+>>> server = VerificationServer(port=0)          # ephemeral port
+>>> thread = server.start_background()
+>>> client = VerificationClient(server.url)
+>>> payload = client.verify(first, second)       # doctest: +SKIP
+>>> payload["criterion"]                         # doctest: +SKIP
+'equivalent'
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.exceptions import ServiceError
+
+__all__ = ["VerificationClient"]
+
+
+def _as_qasm(circuit) -> str:
+    if isinstance(circuit, str):
+        return circuit
+    return circuit.to_qasm()
+
+
+class VerificationClient:
+    """HTTP client for a :class:`~repro.service.server.VerificationServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except ValueError:
+                detail = ""
+            raise ServiceError(
+                detail or f"{method} {path} failed with HTTP {error.code}",
+                status=error.code,
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach verification server at {self.base_url}: {error.reason}",
+                status=503,
+            ) from error
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def submit(self, first, second) -> dict:
+        """Submit a pair; returns ``{"job_id", "fingerprint", "coalesced"}``."""
+        return self._request(
+            "POST", "/jobs", {"first": _as_qasm(first), "second": _as_qasm(second)}
+        )
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The verdict payload (raises :class:`ServiceError` 409 while pending)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll_interval: float = 0.05) -> dict:
+        """Poll until the job settles; returns the verdict payload.
+
+        Raises :class:`ServiceError` 504 if the deadline passes first, and
+        propagates the server's 500 for a failed job.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)["status"]
+            if status in ("done", "failed"):
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id!r} still {status} after {timeout}s", status=504
+                )
+            time.sleep(poll_interval)
+
+    def verify(self, first, second, timeout: float = 60.0) -> dict:
+        """Submit one pair and block until its verdict is available."""
+        submission = self.submit(first, second)
+        return self.wait(submission["job_id"], timeout=timeout)

@@ -1,0 +1,414 @@
+"""A stdlib-only HTTP job-queue server for equivalence verification.
+
+``repro-qcec serve --port N`` turns the portfolio manager into a long-running
+service: clients POST QASM circuit pairs, the server queues them onto a
+worker pool (the same executor machinery ``verify_batch`` uses), and clients
+poll for the verdict.  The design follows the frontend/backend split of
+modern automata tools (Kofola et al.): the HTTP layer only parses and
+routes; every decision — scheduling, caching, early termination — stays in
+:class:`~repro.core.manager.EquivalenceCheckingManager`.
+
+Endpoints (all JSON):
+
+* ``POST /jobs``           — body ``{"first": <qasm>, "second": <qasm>}``;
+  returns ``202 {"job_id", "fingerprint", "coalesced"}``.  Submissions are
+  **deduplicated by fingerprint**: while a job for the same canonical pair
+  is queued or running, an identical submission returns the *existing*
+  job id (``"coalesced": true``) instead of queueing a second run.
+* ``GET /jobs/<id>``        — job status (``queued|running|done|failed``).
+* ``GET /jobs/<id>/result`` — the verdict payload (``409`` while pending).
+* ``GET /stats``            — job counters, dedup counter, verdict-cache and
+  service statistics.
+* ``GET /healthz``          — liveness probe with the package version.
+
+:class:`VerificationService` is the transport-free core (job queue, worker
+pool, dedup index) and is usable in-process; :class:`VerificationServer`
+wraps it in a ``ThreadingHTTPServer`` for the CLI, tests and examples.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.circuit.qasm import circuit_from_qasm
+from repro.core.configuration import Configuration
+from repro.core.manager import EquivalenceCheckingManager
+from repro.exceptions import ReproError, ServiceError
+from repro.service.fingerprint import fingerprints_sound_for, pair_fingerprint
+
+__all__ = ["VerificationJob", "VerificationServer", "VerificationService"]
+
+#: Upper bound on a ``POST /jobs`` body.  Generous for QASM circuit pairs
+#: (a 10k-gate circuit exports to well under 1 MB) while keeping a
+#: misbehaving client from making a handler thread buffer arbitrary data.
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+@dataclass
+class VerificationJob:
+    """One queued verification: identity, lifecycle timestamps, outcome."""
+
+    job_id: str
+    fingerprint: str
+    name_first: str
+    name_second: str
+    status: str = "queued"  # queued | running | done | failed
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict | None = None
+    error: str | None = None
+
+    def status_payload(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "fingerprint": self.fingerprint,
+            "first": self.name_first,
+            "second": self.name_second,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+class VerificationService:
+    """Transport-free job queue: submit, execute on a pool, poll, dedupe.
+
+    One :class:`~repro.core.manager.EquivalenceCheckingManager` (and hence
+    one verdict cache) is shared across the worker pool; worker concurrency
+    is ``configuration.max_workers``, exactly like ``verify_batch``.  The
+    service enables the verdict cache by default — a server that forgets
+    repeat traffic between requests would miss the entire point; pass
+    ``cache=False`` for a service whose every submission must run fresh
+    (e.g. unseeded simulative traffic that should redraw stimuli, or
+    latency benchmarking).
+
+    The job table keeps the most recent ``max_finished_jobs`` settled jobs
+    for polling; older ones are pruned (their status/result become 404),
+    which bounds server memory regardless of uptime.  Queued and running
+    jobs are never pruned, and pruning never touches the verdict cache —
+    a re-submission of a pruned pair is still a cache hit.
+    """
+
+    def __init__(
+        self,
+        configuration: Configuration | None = None,
+        *,
+        cache: bool = True,
+        max_finished_jobs: int = 1024,
+    ):
+        configuration = configuration or Configuration()
+        if cache and not configuration.cache_enabled:
+            configuration = configuration.updated(verdict_cache=True)
+        if max_finished_jobs < 1:
+            raise ServiceError("max_finished_jobs must be at least 1", status=500)
+        self.configuration = configuration
+        # Dedup by fingerprint is only sound when the tolerance cannot
+        # out-resolve the canonical form (same rule the manager applies to
+        # its cache); otherwise every submission gets its own job.
+        self._dedup_enabled = fingerprints_sound_for(configuration)
+        self.max_finished_jobs = max_finished_jobs
+        self.manager = EquivalenceCheckingManager(configuration)
+        self._executor = ThreadPoolExecutor(
+            max_workers=configuration.max_workers, thread_name_prefix="verify-service"
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, VerificationJob] = {}
+        self._in_flight: dict[str, str] = {}  # fingerprint -> queued/running job id
+        self._finished: deque[str] = deque()  # settled job ids, oldest first
+        self._next_id = 0
+        self._started_at = time.time()
+        self.submitted = 0
+        self.executed = 0
+        self.coalesced = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    # job lifecycle
+    # ------------------------------------------------------------------
+
+    def submit_qasm(self, first_qasm: str, second_qasm: str) -> dict:
+        """Parse and queue a pair given as OpenQASM 2 text.
+
+        Returns the ``POST /jobs`` payload.  A malformed circuit raises
+        :class:`ServiceError` with status 400 — submission errors belong to
+        the submitter, not to the job queue.
+        """
+        try:
+            first = circuit_from_qasm(first_qasm)
+            second = circuit_from_qasm(second_qasm)
+        except ReproError as error:
+            raise ServiceError(f"invalid circuit payload: {error}", status=400) from error
+        return self.submit(first, second)
+
+    def submit(self, first, second) -> dict:
+        """Queue one circuit pair; identical in-flight submissions coalesce."""
+        fingerprint = pair_fingerprint(first, second, self.configuration)
+        with self._lock:
+            self.submitted += 1
+            existing_id = (
+                self._in_flight.get(fingerprint) if self._dedup_enabled else None
+            )
+            if existing_id is not None:
+                self.coalesced += 1
+                return {
+                    "job_id": existing_id,
+                    "fingerprint": fingerprint,
+                    "coalesced": True,
+                }
+            self._next_id += 1
+            job = VerificationJob(
+                job_id=f"job-{self._next_id:06d}",
+                fingerprint=fingerprint,
+                name_first=getattr(first, "name", "first"),
+                name_second=getattr(second, "name", "second"),
+            )
+            self._jobs[job.job_id] = job
+            if self._dedup_enabled:
+                self._in_flight[fingerprint] = job.job_id
+        try:
+            self._executor.submit(self._execute, job, first, second)
+        except RuntimeError as error:
+            # The pool is shutting down: un-register the job, or its
+            # fingerprint would coalesce later submissions onto a forever-
+            # "queued" husk that no worker will ever pick up.
+            with self._lock:
+                self._jobs.pop(job.job_id, None)
+                if self._in_flight.get(job.fingerprint) == job.job_id:
+                    del self._in_flight[job.fingerprint]
+            raise ServiceError(
+                f"service is shutting down: {error}", status=503
+            ) from error
+        return {"job_id": job.job_id, "fingerprint": fingerprint, "coalesced": False}
+
+    def _execute(self, job: VerificationJob, first, second) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        try:
+            # The submission path already fingerprinted the pair for dedup;
+            # hand the digest to the manager so a cache hit does not pay for
+            # a second canonicalization pass.
+            result = self.manager.run(first, second, fingerprint=job.fingerprint)
+            job.result = {
+                "first": job.name_first,
+                "second": job.name_second,
+                **result.to_json(),
+            }
+            job.status = "done"
+        except Exception as error:  # noqa: BLE001 - isolate per-job failures
+            job.error = f"{type(error).__name__}: {error}"
+            job.status = "failed"
+        finally:
+            job.finished_at = time.time()
+            with self._lock:
+                if job.status == "done":
+                    self.executed += 1
+                else:
+                    self.failed += 1
+                # Drop the dedup index entry only if it still points at this
+                # job: later identical submissions must queue a fresh run once
+                # this one has settled (the verdict cache serves them fast).
+                if self._in_flight.get(job.fingerprint) == job.job_id:
+                    del self._in_flight[job.fingerprint]
+                # Retention: keep only the newest settled jobs around for
+                # polling so the table cannot grow without bound.
+                self._finished.append(job.job_id)
+                while len(self._finished) > self.max_finished_jobs:
+                    self._jobs.pop(self._finished.popleft(), None)
+
+    def _job(self, job_id: str) -> VerificationJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        return job
+
+    def job_status(self, job_id: str) -> dict:
+        return self._job(job_id).status_payload()
+
+    def job_result(self, job_id: str) -> dict:
+        """The verdict payload of a finished job.
+
+        Raises :class:`ServiceError` 409 while the job is still queued or
+        running (poll again) and 500 for a failed job.
+        """
+        job = self._job(job_id)
+        if job.status in ("queued", "running"):
+            raise ServiceError(
+                f"job {job_id!r} is still {job.status}; poll again", status=409
+            )
+        if job.status == "failed":
+            raise ServiceError(f"job {job_id!r} failed: {job.error}", status=500)
+        assert job.result is not None
+        return job.result
+
+    # ------------------------------------------------------------------
+    # reporting and shutdown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        from repro import __version__
+
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            cache = self.manager.verdict_cache
+            return {
+                "version": __version__,
+                "uptime": time.time() - self._started_at,
+                "max_workers": self.configuration.max_workers,
+                "submitted": self.submitted,
+                "executed": self.executed,
+                "coalesced": self.coalesced,
+                "failed": self.failed,
+                "in_flight": len(self._in_flight),
+                "jobs": by_status,
+                "cache": cache.statistics() if cache is not None else None,
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Thin JSON-over-HTTP routing onto the owning :class:`VerificationService`."""
+
+    # Socket read timeout (socketserver applies it in setup()): a client that
+    # claims a Content-Length and then stalls mid-body gets its connection
+    # dropped instead of pinning a handler thread forever.
+    timeout = 30.0
+
+    # Silence the default per-request stderr logging; a service wrapper that
+    # wants access logs can override this attribute on the server class.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> VerificationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except ServiceError as error:
+            self._send(error.status, {"error": str(error)})
+        except TimeoutError:
+            # The socket timeout fired mid-request (a client stalling inside
+            # its declared body): answer 408 if the socket still accepts it
+            # and drop the connection so the thread is freed either way.
+            self.close_connection = True
+            try:
+                self._send(408, {"error": "timed out reading the request"})
+            except OSError:
+                pass
+        except Exception as error:  # noqa: BLE001 - a handler bug must not kill the thread
+            self._send(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._send(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        def handler():
+            parts = [part for part in self.path.split("?", 1)[0].split("/") if part]
+            if parts == ["stats"]:
+                return 200, self.service.stats()
+            if parts == ["healthz"]:
+                from repro import __version__
+
+                return 200, {"ok": True, "version": __version__}
+            if len(parts) == 2 and parts[0] == "jobs":
+                return 200, self.service.job_status(parts[1])
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                return 200, self.service.job_result(parts[1])
+            raise ServiceError(f"unknown endpoint {self.path!r}", status=404)
+
+        self._handle(handler)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        def handler():
+            parts = [part for part in self.path.split("?", 1)[0].split("/") if part]
+            if parts != ["jobs"]:
+                raise ServiceError(f"unknown endpoint {self.path!r}", status=404)
+            # The Content-Length header is client-controlled: reject garbage
+            # and negative values (rfile.read(-1) would block until EOF) as
+            # 400, and oversized bodies before reading them.
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                raise ServiceError("invalid Content-Length header", status=400)
+            if length < 0:
+                raise ServiceError("invalid Content-Length header", status=400)
+            if length > _MAX_BODY_BYTES:
+                raise ServiceError(
+                    f"request body exceeds {_MAX_BODY_BYTES} bytes", status=413
+                )
+            try:
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except ValueError as error:
+                raise ServiceError(f"request body is not JSON: {error}", status=400)
+            first = payload.get("first")
+            second = payload.get("second")
+            if not isinstance(first, str) or not isinstance(second, str):
+                raise ServiceError(
+                    "body must be {'first': <qasm>, 'second': <qasm>}", status=400
+                )
+            return 202, self.service.submit_qasm(first, second)
+
+        self._handle(handler)
+
+
+class VerificationServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` owning a :class:`VerificationService`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`) —
+    handy for tests and CI.  :meth:`start_background` serves on a daemon
+    thread so in-process users (the example, the test suite) can drive a
+    real client against it.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        configuration: Configuration | None = None,
+    ):
+        super().__init__((host, port), _ServiceRequestHandler)
+        self.service = VerificationService(configuration)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def start_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="verification-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.service.shutdown(wait=False)

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.circuit",
     "repro.core",
     "repro.dd",
+    "repro.service",
     "repro.simulators",
     "repro.algorithms",
     "repro.compilation",
@@ -25,7 +26,7 @@ PUBLIC_MODULES = [
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
     def test_all_entries_resolve(self, module_name):
