@@ -11,6 +11,12 @@ Two workloads measure what the verdict cache buys a long-running service:
   of CI re-runs) through ``verify_batch`` with and without the cache.  The
   deduped run must agree entry-for-entry with the plain run and must show at
   least 16 cache hits (one per fanned-out duplicate).
+* ``server_throughput`` — the same duplicate-heavy pair mix driven over HTTP
+  by concurrent clients against BOTH front ends (``VerificationServer`` on
+  the thread pool, ``AsyncVerificationServer`` on asyncio with long-poll
+  collection).  The two backends must return identical per-request verdicts
+  (drift fails the script); their relative throughput is recorded, never
+  gated — timing noise must not fail CI.
 
 Results are emitted as ``BENCH_service.json`` (schema shared via
 ``bench_common.validate_bench_payload``).
@@ -26,6 +32,7 @@ from __future__ import annotations
 import argparse
 import platform
 import sys
+import threading
 import time
 
 from bench_common import BENCH_SCHEMA_VERSION, SCALE, write_bench_json
@@ -38,7 +45,12 @@ from repro.algorithms import (
     qft_dynamic,
     qft_static_benchmark,
 )
-from repro.core import EquivalenceCheckingManager
+from repro.core import Configuration, EquivalenceCheckingManager
+from repro.service import (
+    AsyncVerificationServer,
+    VerificationClient,
+    VerificationServer,
+)
 
 SEED = 42
 
@@ -157,12 +169,99 @@ def bench_dedup_batch(repeats: int) -> tuple[list[dict], dict]:
     }
 
 
+def bench_server_throughput(
+    repeats: int, num_clients: int, num_requests: int
+) -> tuple[list[dict], dict]:
+    """Concurrent-client HTTP throughput: thread backend vs asyncio backend.
+
+    Each repeat starts a fresh server on an ephemeral port, fans
+    ``num_requests`` verifications (duplicate-heavy mix) across
+    ``num_clients`` client threads, and waits for every verdict.  The gate is
+    verdict agreement between the two backends; throughput is informational.
+    """
+    pairs = [duplicate_heavy_pairs()[index % 20] for index in range(num_requests)]
+    entries = []
+    criteria_by_backend: dict[str, list[str]] = {}
+    times_by_backend: dict[str, float] = {}
+    for backend in ("thread", "async"):
+        times = []
+        criteria: list[str] = []
+        for _ in range(repeats):
+            configuration = Configuration(seed=SEED, max_workers=2)
+            if backend == "thread":
+                server = VerificationServer(port=0, configuration=configuration)
+            else:
+                server = AsyncVerificationServer(port=0, configuration=configuration)
+            server.start_background()
+            try:
+                verdicts: list[str | None] = [None] * len(pairs)
+
+                def drive(indices, url=server.url):
+                    client = VerificationClient(url, timeout=30.0)
+                    for index in indices:
+                        first, second = pairs[index]
+                        payload = client.verify(first, second, timeout=120.0)
+                        verdicts[index] = payload["criterion"]
+
+                chunks = [
+                    list(range(offset, len(pairs), num_clients))
+                    for offset in range(num_clients)
+                ]
+                threads = [
+                    threading.Thread(target=drive, args=(chunk,)) for chunk in chunks
+                ]
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                times.append((time.perf_counter() - start) * 1000.0)
+            finally:
+                server.close()
+            if any(verdict is None for verdict in verdicts):
+                raise RuntimeError(f"{backend} backend dropped a verification")
+            criteria = [str(verdict) for verdict in verdicts]
+        criteria_by_backend[backend] = criteria
+        times_by_backend[backend] = min(times)
+        entries.append(
+            {
+                "name": f"server_throughput/{backend}",
+                "workload": "server_throughput",
+                "num_requests": num_requests,
+                "num_clients": num_clients,
+                "repeats": repeats,
+                "mean_ms": sum(times) / len(times),
+                "min_ms": min(times),
+                "requests_per_second": round(
+                    num_requests / (min(times) / 1000.0), 1
+                ),
+            }
+        )
+    if criteria_by_backend["thread"] != criteria_by_backend["async"]:
+        raise RuntimeError(
+            "verdict drift between server backends: "
+            f"{criteria_by_backend['async']} (async) vs "
+            f"{criteria_by_backend['thread']} (thread)"
+        )
+    return entries, {
+        "server_async_vs_thread": round(
+            times_by_backend["thread"] / times_by_backend["async"], 2
+        )
+    }
+
+
 def run(args: argparse.Namespace) -> dict:
     repeats = args.repeats or (2 if args.quick else 5)
     sizes = QUICK_QFT_SIZES if args.quick else FULL_QFT_SIZES
 
     qft_entries, qft_speedups = bench_qft_rerun(sizes, repeats)
     dedup_entries, dedup_speedups = bench_dedup_batch(repeats)
+    throughput_repeats = max(1, repeats // 2)
+    num_clients = 4 if args.quick else 8
+    num_requests = 12 if args.quick else 40
+    server_entries, server_speedups = bench_server_throughput(
+        throughput_repeats, num_clients, num_requests
+    )
 
     largest = f"qft{sizes[-1]}"
     return {
@@ -170,8 +269,12 @@ def run(args: argparse.Namespace) -> dict:
         "benchmark": "verification_service",
         "scale": SCALE,
         "python": platform.python_version(),
-        "results": qft_entries + dedup_entries,
-        "speedups": {"warm_vs_cold": qft_speedups, **dedup_speedups},
+        "results": qft_entries + dedup_entries + server_entries,
+        "speedups": {
+            "warm_vs_cold": qft_speedups,
+            **dedup_speedups,
+            **server_speedups,
+        },
         "speedup_vs_baseline": qft_speedups[largest],
         "baseline": {"source": "cold run (fresh manager, empty verdict cache)"},
     }
@@ -201,6 +304,10 @@ def main(argv: list[str] | None = None) -> int:
     warm = payload["speedups"]["warm_vs_cold"]
     print("warm-cache speedup:", ", ".join(f"{k}={v}x" for k, v in warm.items()))
     print(f"in-batch dedup speedup: {payload['speedups']['dedup_batch']}x")
+    print(
+        "async-vs-thread server throughput: "
+        f"{payload['speedups']['server_async_vs_thread']}x"
+    )
     print(f"wrote {args.output}")
     return 0
 

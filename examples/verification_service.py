@@ -11,7 +11,11 @@ repeat traffic nearly free:
    manager before any checker runs (and used to dedupe identical pairs
    *within* a batch);
 3. **Job-queue server** — ``repro-qcec serve`` exposes the whole stack over
-   HTTP, with identical in-flight submissions coalescing onto one job.
+   HTTP, with identical in-flight submissions coalescing onto one job;
+4. **Async front end** — ``repro-qcec serve --backend async`` runs the same
+   service behind an asyncio server with long-poll result collection,
+   bounded-queue backpressure (429 + ``Retry-After``) and per-client rate
+   limiting.  Both backends export Prometheus text at ``GET /metrics``.
 
 Run with ``python examples/verification_service.py``.
 """
@@ -29,6 +33,7 @@ from repro import (
 )
 from repro.algorithms import ghz_ladder, ghz_with_bug, qft_dynamic, qft_static_benchmark
 from repro.core import Configuration
+from repro.service import AsyncVerificationServer
 
 
 def main() -> None:
@@ -114,6 +119,32 @@ def main() -> None:
         )
     finally:
         server.close()
+
+    # ------------------------------------------------------------------
+    # 5. The asyncio front end: same service, long-poll collection,
+    #    backpressure and rate limiting knobs, Prometheus /metrics.
+    #    From a shell: `repro-qcec serve --backend async --queue-limit 64
+    #    --rate-limit 50`.
+    # ------------------------------------------------------------------
+    aserver = AsyncVerificationServer(
+        port=0, configuration=Configuration(seed=42), rate_limit=100.0
+    )
+    aserver.start_background()
+    try:
+        client = VerificationClient(aserver.url)
+        # `wait` long-polls GET /jobs/<id>/result?wait=N — the whole warm
+        # verification takes two HTTP requests instead of a polling loop.
+        payload = client.verify(qft_static_benchmark(6), qft_dynamic(6))
+        print(f"async verdict: {payload['criterion']} (cached={payload['cached']})")
+        scrape = client.metrics()
+        interesting = [
+            line
+            for line in scrape.splitlines()
+            if line.startswith(("repro_service_queue_depth", "repro_verdict_cache_hit_ratio"))
+        ]
+        print("metrics sample:", *interesting, sep="\n  ")
+    finally:
+        aserver.close()
 
 
 if __name__ == "__main__":

@@ -543,6 +543,29 @@ class ControlledGate(Gate):
             self.base_gate, self.num_ctrl_qubits + num_ctrl_qubits, combined_state
         )
 
+    def definition(self) -> list[tuple[Gate, tuple[int, ...]]] | None:
+        """Decompose a controlled multi-qubit gate into controlled factors.
+
+        ``C(U_k ... U_1) = C(U_k) ... C(U_1)``: controlling a product is the
+        product of the controlled factors, for any control count and state.
+        Backends handle controlled *single-qubit* gates natively, so those
+        (and controlled gates whose base has no definition) return ``None``;
+        a controlled SWAP and friends decompose into doubly-controlled
+        single-qubit gates the backends accept directly.
+        """
+        if self.base_gate.num_qubits <= 1:
+            return None
+        base_definition = self.base_gate.definition()
+        if base_definition is None:
+            return None
+        nc = self.num_ctrl_qubits
+        controls = tuple(range(nc))
+        steps: list[tuple[Gate, tuple[int, ...]]] = []
+        for gate, qubits in base_definition:
+            mapped = tuple(nc + q for q in qubits)
+            steps.append((gate.control(nc, self.ctrl_state), controls + mapped))
+        return steps
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ControlledGate):
             return NotImplemented

@@ -275,6 +275,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="expire memoized gate DDs older than this (lazy, on lookup)",
     )
+    serve.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "async"),
+        help="HTTP front end: thread-per-request or single-event-loop asyncio",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject (429 + Retry-After) once N jobs are unsettled "
+        "(async backend default: 16*workers; thread backend default: unbounded)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="PER_SECOND",
+        help="per-client token-bucket submission rate (async backend only)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="token-bucket burst size (default: max(2, 2*rate))",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run every submission fresh instead of serving cached verdicts",
+    )
+    serve.add_argument(
+        "--max-finished-jobs",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="settled jobs kept pollable before pruning (pruned verdicts are "
+        "still served from the cache when possible)",
+    )
 
     behaviour = subparsers.add_parser(
         "verify-behaviour",
@@ -543,8 +584,10 @@ def _command_batch(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     # Imported here so plain verify/batch invocations never pay for the
     # service layer.
+    from repro.service.aserver import AsyncVerificationServer
     from repro.service.server import VerificationServer
 
+    use_cache = not args.no_cache
     configuration = Configuration(
         portfolio=_parse_portfolio(args.portfolio),
         scheduler=args.scheduler,
@@ -553,23 +596,53 @@ def _command_serve(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         timeout=args.timeout,
         checker_timeout=args.checker_timeout,
-        verdict_cache=True,
-        cache_path=args.cache_path,
+        verdict_cache=use_cache,
+        cache_path=args.cache_path if use_cache else None,
         cache_size=args.cache_size,
         gate_cache_size=args.gate_cache_size,
         gate_cache_ttl=args.gate_cache_ttl,
     )
-    server = VerificationServer(
-        host=args.host, port=args.port, configuration=configuration
-    )
-    cache = args.cache_path or "in-memory"
+    if args.backend == "async":
+        server = AsyncVerificationServer(
+            host=args.host,
+            port=args.port,
+            configuration=configuration,
+            cache=use_cache,
+            max_finished_jobs=args.max_finished_jobs,
+            queue_limit=args.queue_limit if args.queue_limit is not None else "auto",
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+        )
+        thread = server.start_background()
+    else:
+        if args.rate_limit is not None or args.rate_burst is not None:
+            print(
+                "warning: --rate-limit/--rate-burst only apply to --backend async",
+                file=sys.stderr,
+            )
+        server = VerificationServer(
+            host=args.host,
+            port=args.port,
+            configuration=configuration,
+            cache=use_cache,
+            max_finished_jobs=args.max_finished_jobs,
+            queue_limit=args.queue_limit,
+        )
+        thread = None
+    cache = (args.cache_path or "in-memory") if use_cache else "disabled"
+    queue_limit = server.service.queue_limit
     print(
         f"repro-qcec {__version__} serving on {server.url} "
-        f"(workers={args.max_workers}, scheduler={args.scheduler}, cache={cache})",
+        f"(backend={args.backend}, workers={args.max_workers}, "
+        f"scheduler={args.scheduler}, cache={cache}, "
+        f"queue_limit={queue_limit if queue_limit is not None else 'unbounded'})",
         flush=True,
     )
     try:
-        server.serve_forever()
+        if thread is not None:
+            thread.join()
+        else:
+            server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:

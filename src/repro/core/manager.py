@@ -130,6 +130,11 @@ class EquivalenceCheckingManager:
             )
         else:
             self.verdict_cache = None
+        # Optional MetricsRegistry (repro.service.metrics): when set, the
+        # manager observes per-checker latency histograms and run-outcome
+        # counters into it.  The verification service wires its registry in;
+        # plain in-process managers run unmetered.
+        self.metrics = None
 
     @property
     def portfolio(self) -> tuple[str, ...]:
@@ -194,7 +199,9 @@ class EquivalenceCheckingManager:
         if self.verdict_cache is not None and fingerprint is not None:
             cached = self.verdict_cache.get(fingerprint)
             if cached is not None:
+                self._count_run("cache_hit")
                 return cached
+        self._count_run("executed")
         result = self._run_uncached(
             first, second, qubit_permutation=qubit_permutation, schedule=schedule
         )
@@ -397,28 +404,61 @@ class EquivalenceCheckingManager:
                 thread.join(timeout=budget)
                 if thread.is_alive():
                     stop.set()
-                    return CheckerAttempt(
-                        method=method,
-                        status="timeout",
-                        error=f"checker exceeded its budget of {budget:.6f}s",
-                        time_taken=time.perf_counter() - started,
+                    return self._observe_attempt(
+                        CheckerAttempt(
+                            method=method,
+                            status="timeout",
+                            error=f"checker exceeded its budget of {budget:.6f}s",
+                            time_taken=time.perf_counter() - started,
+                        )
                     )
                 if "error" in outcome:
                     raise outcome["error"]
                 result = outcome["result"]
-            return CheckerAttempt(
-                method=method,
-                status="completed",
-                result=result,
-                time_taken=time.perf_counter() - started,
+            return self._observe_attempt(
+                CheckerAttempt(
+                    method=method,
+                    status="completed",
+                    result=result,
+                    time_taken=time.perf_counter() - started,
+                )
             )
         except Exception as error:  # noqa: BLE001 - isolate checker failures
-            return CheckerAttempt(
-                method=method,
-                status="error",
-                error=f"{type(error).__name__}: {error}",
-                time_taken=time.perf_counter() - started,
+            return self._observe_attempt(
+                CheckerAttempt(
+                    method=method,
+                    status="error",
+                    error=f"{type(error).__name__}: {error}",
+                    time_taken=time.perf_counter() - started,
+                )
             )
+
+    def _count_run(self, outcome: str) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_manager_runs_total",
+            "Pair checks by outcome (cache hit vs. executed portfolio run).",
+            labelnames=("outcome",),
+        ).inc(outcome=outcome)
+
+    def _observe_attempt(self, attempt: CheckerAttempt) -> CheckerAttempt:
+        """Record one checker attempt into the metrics registry, if any."""
+        if self.metrics is None:
+            return attempt
+        self.metrics.histogram(
+            "repro_checker_latency_seconds",
+            "Wall-clock latency of individual checker attempts.",
+            labelnames=("checker", "status"),
+        ).observe(attempt.time_taken, checker=attempt.method, status=attempt.status)
+        details = getattr(attempt.result, "details", None)
+        if isinstance(details, dict) and "dd_statistics" in details:
+            from repro.service.metrics import publish_dd_statistics
+
+            publish_dd_statistics(
+                self.metrics, details["dd_statistics"], checker=attempt.method
+            )
+        return attempt
 
     # ------------------------------------------------------------------
     # batch verification

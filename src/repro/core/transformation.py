@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.gates import Gate
+from repro.circuit.gates import Gate, SwapGate
 from repro.circuit.operations import ClassicalCondition, Instruction
 from repro.circuit.registers import ClassicalRegister, QuantumRegister
 from repro.exceptions import TransformationError
@@ -83,6 +83,18 @@ def substitute_resets(circuit: QuantumCircuit) -> QuantumCircuit:
     which the resets appear in the circuit.  Resetting a qubit that is still
     in its initial |0> state (i.e. was never operated on) is a no-op and does
     not consume a fresh qubit.
+
+    A *classically-conditioned* reset cannot be rewired statically (whether
+    the role moves to the fresh qubit depends on a run-time value).  It is
+    instead replaced by a conditioned SWAP with a fresh |0> ancilla — the
+    role qubit conditionally trades its state for |0>, which is exactly a
+    reset with the discarded state parked on the ancilla.
+    :func:`defer_measurements` then converts the conditioned SWAP into a
+    quantum-controlled SWAP on the measurement-source qubit, completing the
+    faithful unitary reconstruction.  (A conditioned reset of the very qubit
+    that sourced its own condition still has no reconstruction: the deferred
+    control and the swap target would coincide, and
+    :func:`defer_measurements` reports that.)
     """
     if circuit.num_resets == 0:
         return circuit.copy()
@@ -98,21 +110,33 @@ def substitute_resets(circuit: QuantumCircuit) -> QuantumCircuit:
 
     for instruction in circuit:
         if instruction.is_reset:
-            if instruction.condition is not None:
-                # Whether the rewiring happens would depend on a run-time
-                # classical value; rewiring unconditionally would miscompile a
-                # conditional reset into an unconditional one.  Such circuits
-                # have no unitary reconstruction under Scheme 1 — use the
-                # behavioural check (Scheme 2) instead.
-                raise TransformationError(
-                    "cannot substitute a classically-conditioned reset "
-                    f"(qubit {instruction.qubits[0]}, condition on clbits "
-                    f"{list(instruction.condition.clbits)}); conditional resets are "
-                    "only supported by the behavioural (Scheme 2) flow"
-                )
             original = instruction.qubits[0]
             if current[original] not in touched:
-                # The qubit is still in |0>; the reset has no effect.
+                # The qubit is still in |0>; the reset has no effect whether
+                # or not a classical condition would have fired.
+                continue
+            if instruction.condition is not None:
+                # Whether the role qubit is |0> afterwards depends on a
+                # run-time classical value, so plain rewiring would
+                # miscompile the conditional reset into an unconditional
+                # one.  The faithful reconstruction keeps the role on the
+                # current qubit and conditionally swaps its state out into a
+                # fresh |0> ancilla: if the condition fires, the role qubit
+                # ends in |0> and the ancilla carries the discarded state
+                # away; if not, nothing happens.  defer_measurements later
+                # turns this into a quantum-controlled SWAP on the
+                # measurement-source qubits (Fredkin-style rewiring).
+                fresh = next_fresh
+                next_fresh += 1
+                touched.add(fresh)
+                rewritten.append(
+                    Instruction(
+                        SwapGate(),
+                        (current[original], fresh),
+                        (),
+                        instruction.condition,
+                    )
+                )
                 continue
             current[original] = next_fresh
             next_fresh += 1

@@ -1084,6 +1084,20 @@ class DDPackage:
             ),
         }
 
+    def publish_metrics(self, registry, checker: str = "standalone") -> None:
+        """Push this package's counters into a unified metrics registry.
+
+        ``registry`` is a :class:`repro.service.metrics.MetricsRegistry`;
+        the import is deferred because the DD layer sits below the service
+        layer.  Checker code that hands its statistics to the manager via
+        result details does not need this — the manager harvests those into
+        the same series; this hook is for standalone package users (tests,
+        benchmarks, notebooks) that want their runs on the same dashboard.
+        """
+        from repro.service.metrics import publish_dd_statistics
+
+        publish_dd_statistics(registry, self.statistics(), checker=checker)
+
     def clear_caches(self) -> None:
         """Drop all compute tables and the gate cache (unique tables are kept)."""
         for table in (

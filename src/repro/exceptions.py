@@ -59,8 +59,14 @@ class ServiceError(ReproError):
 
     Carries the HTTP status code the failure maps to (clients re-raise the
     server's code; in-process users get the would-be code for context).
+    ``retry_after`` accompanies backpressure rejections (HTTP 429/503): the
+    number of seconds after which a retry is expected to be accepted, sent
+    on the wire as a ``Retry-After`` header.
     """
 
-    def __init__(self, message: str, status: int = 500) -> None:
+    def __init__(
+        self, message: str, status: int = 500, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after

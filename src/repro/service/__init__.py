@@ -1,4 +1,4 @@
-"""Verification service layer: fingerprints, verdict cache, job-queue server.
+"""Verification service layer: fingerprints, verdict cache, job-queue servers.
 
 The PR 1-4 stack made one *process* fast at verifying circuit pairs; this
 subsystem turns it into a *service* for real compilation flows, where the
@@ -12,10 +12,18 @@ same pairs are re-verified over and over as toolchains iterate:
   with an optional persistent JSON-lines tier
   (``Configuration.cache_path``) storing
   :class:`~repro.core.results.PortfolioResult` essentials;
-* :mod:`repro.service.server` — a stdlib-only HTTP job-queue server
-  (``repro-qcec serve``) with submit/status/result/stats endpoints and
-  request deduplication by fingerprint;
-* :mod:`repro.service.client` — the matching :class:`VerificationClient`.
+* :mod:`repro.service.server` — a stdlib-only threaded HTTP job-queue server
+  (``repro-qcec serve``) with submit/status/result/stats/metrics endpoints,
+  request deduplication by fingerprint and long-poll result delivery;
+* :mod:`repro.service.aserver` — the asyncio front end over the same
+  :class:`VerificationService` backend (``repro-qcec serve --backend
+  async``), adding bounded-queue backpressure (429 + ``Retry-After``) and
+  per-client token-bucket rate limiting;
+* :mod:`repro.service.metrics` — the unified :class:`MetricsRegistry`
+  (counters, gauges, histograms) both servers export as Prometheus text at
+  ``GET /metrics``;
+* :mod:`repro.service.client` — the matching :class:`VerificationClient`,
+  long-polling against either backend.
 
 The cache is also consulted by
 :class:`~repro.core.manager.EquivalenceCheckingManager` itself
@@ -23,6 +31,7 @@ The cache is also consulted by
 dedupes identical pairs *within* a batch.
 """
 
+from repro.service.aserver import AsyncVerificationServer
 from repro.service.cache import CachedVerdict, VerdictCache
 from repro.service.client import VerificationClient
 from repro.service.fingerprint import (
@@ -30,10 +39,16 @@ from repro.service.fingerprint import (
     configuration_fingerprint,
     pair_fingerprint,
 )
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.server import VerificationServer, VerificationService
 
 __all__ = [
+    "AsyncVerificationServer",
     "CachedVerdict",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "VerdictCache",
     "VerificationClient",
     "VerificationServer",

@@ -1,10 +1,16 @@
-"""A stdlib-only client for the verification job-queue server.
+"""A stdlib-only client for the verification job-queue servers.
 
-Mirrors :mod:`repro.service.server`'s endpoints one method per endpoint,
-plus the ``submit → poll → result`` convenience loop every caller would
-otherwise rewrite.  Accepts circuits as :class:`~repro.circuit.circuit.
-QuantumCircuit` objects (exported to QASM on the wire) or as raw OpenQASM 2
-strings.
+Mirrors the endpoints of :mod:`repro.service.server` (and its asyncio twin
+:mod:`repro.service.aserver`) one method per endpoint, plus the ``submit →
+wait → result`` convenience loop every caller would otherwise rewrite.
+Accepts circuits as :class:`~repro.circuit.circuit.QuantumCircuit` objects
+(exported to QASM on the wire) or as raw OpenQASM 2 strings.
+
+:meth:`VerificationClient.wait` *long-polls*: it asks the server to block
+the result request until the job settles (``GET /jobs/<id>/result?wait=N``),
+so a warm-cache verification completes in two HTTP requests — one submit,
+one result — instead of a 50 ms poll loop.  Against a server that ignores
+``?wait=`` the client degrades gracefully to sleeping between polls.
 
 Example
 -------
@@ -28,6 +34,14 @@ from repro.exceptions import ServiceError
 
 __all__ = ["VerificationClient"]
 
+#: Cap on one long-poll request; matches the server-side cap so a client
+#: asking for more simply re-issues the request.
+_MAX_WAIT_PER_REQUEST = 30.0
+
+#: Extra socket-timeout slack on top of the requested long-poll budget, so
+#: the HTTP timeout fires only when the server is genuinely unresponsive.
+_WAIT_GRACE = 10.0
+
 
 def _as_qasm(circuit) -> str:
     if isinstance(circuit, str):
@@ -35,8 +49,18 @@ def _as_qasm(circuit) -> str:
     return circuit.to_qasm()
 
 
+def _retry_after_from(error: urllib.error.HTTPError) -> float | None:
+    value = error.headers.get("Retry-After") if error.headers else None
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
 class VerificationClient:
-    """HTTP client for a :class:`~repro.service.server.VerificationServer`."""
+    """HTTP client for a thread or asyncio verification server."""
 
     def __init__(self, base_url: str, timeout: float = 10.0):
         self.base_url = base_url.rstrip("/")
@@ -46,7 +70,13 @@ class VerificationClient:
     # transport
     # ------------------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -56,7 +86,9 @@ class VerificationClient:
             f"{self.base_url}{path}", data=body, headers=headers, method=method
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
             try:
@@ -66,6 +98,22 @@ class VerificationClient:
             raise ServiceError(
                 detail or f"{method} {path} failed with HTTP {error.code}",
                 status=error.code,
+                retry_after=_retry_after_from(error),
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach verification server at {self.base_url}: {error.reason}",
+                status=503,
+            ) from error
+
+    def _request_text(self, path: str) -> str:
+        request = urllib.request.Request(f"{self.base_url}{path}", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                f"GET {path} failed with HTTP {error.code}", status=error.code
             ) from error
         except urllib.error.URLError as error:
             raise ServiceError(
@@ -78,7 +126,11 @@ class VerificationClient:
     # ------------------------------------------------------------------
 
     def submit(self, first, second) -> dict:
-        """Submit a pair; returns ``{"job_id", "fingerprint", "coalesced"}``."""
+        """Submit a pair; returns ``{"job_id", "fingerprint", "coalesced"}``.
+
+        A server shedding load answers 429; the raised :class:`ServiceError`
+        then carries the server's ``Retry-After`` hint in ``retry_after``.
+        """
         return self._request(
             "POST", "/jobs", {"first": _as_qasm(first), "second": _as_qasm(second)}
         )
@@ -86,12 +138,27 @@ class VerificationClient:
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
 
-    def result(self, job_id: str) -> dict:
-        """The verdict payload (raises :class:`ServiceError` 409 while pending)."""
-        return self._request("GET", f"/jobs/{job_id}/result")
+    def result(self, job_id: str, wait: float | None = None) -> dict:
+        """The verdict payload (raises :class:`ServiceError` 409 while pending).
+
+        ``wait`` long-polls: the server holds the request until the job
+        settles or ``wait`` seconds pass, then answers as usual.
+        """
+        if wait is None:
+            return self._request("GET", f"/jobs/{job_id}/result")
+        wait = min(max(0.0, wait), _MAX_WAIT_PER_REQUEST)
+        return self._request(
+            "GET",
+            f"/jobs/{job_id}/result?wait={wait:g}",
+            timeout=wait + max(self.timeout, _WAIT_GRACE),
+        )
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``GET /metrics``)."""
+        return self._request_text("/metrics")
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")
@@ -101,21 +168,41 @@ class VerificationClient:
     # ------------------------------------------------------------------
 
     def wait(self, job_id: str, timeout: float = 60.0, poll_interval: float = 0.05) -> dict:
-        """Poll until the job settles; returns the verdict payload.
+        """Block until the job settles; returns the verdict payload.
 
-        Raises :class:`ServiceError` 504 if the deadline passes first, and
-        propagates the server's 500 for a failed job.
+        Issues long-poll result requests, so a settled (or warm-cache) job
+        costs exactly one request.  Raises :class:`ServiceError` 504 if the
+        deadline passes first, propagates the server's 500 for a failed job,
+        and translates the 410 of a pruned-and-uncached job into an
+        actionable "resubmit" error.
         """
         deadline = time.monotonic() + timeout
         while True:
-            status = self.status(job_id)["status"]
-            if status in ("done", "failed"):
-                return self.result(job_id)
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServiceError(
-                    f"job {job_id!r} still {status} after {timeout}s", status=504
+                    f"job {job_id!r} still unsettled after {timeout}s", status=504
                 )
-            time.sleep(poll_interval)
+            requested = min(remaining, _MAX_WAIT_PER_REQUEST)
+            issued_at = time.monotonic()
+            try:
+                return self.result(job_id, wait=requested)
+            except ServiceError as error:
+                if error.status == 410:
+                    raise ServiceError(
+                        f"job {job_id!r} was pruned before its result was fetched "
+                        f"and is no longer cached; resubmit the pair ({error})",
+                        status=410,
+                    ) from error
+                if error.status != 409:
+                    raise
+                # Still pending.  A long-polling server only answers 409
+                # after blocking for most of the requested window; a server
+                # that ignored ``?wait=`` answers immediately — sleep before
+                # retrying so we degrade to polling instead of busy-looping.
+                elapsed = time.monotonic() - issued_at
+                if elapsed < min(requested, 1.0) / 2:
+                    time.sleep(min(poll_interval, max(0.0, deadline - time.monotonic())))
 
     def verify(self, first, second, timeout: float = 60.0) -> dict:
         """Submit one pair and block until its verdict is available."""

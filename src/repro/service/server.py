@@ -3,44 +3,54 @@
 ``repro-qcec serve --port N`` turns the portfolio manager into a long-running
 service: clients POST QASM circuit pairs, the server queues them onto a
 worker pool (the same executor machinery ``verify_batch`` uses), and clients
-poll for the verdict.  The design follows the frontend/backend split of
+collect the verdict.  The design follows the frontend/backend split of
 modern automata tools (Kofola et al.): the HTTP layer only parses and
 routes; every decision — scheduling, caching, early termination — stays in
 :class:`~repro.core.manager.EquivalenceCheckingManager`.
 
-Endpoints (all JSON):
+Endpoints (all JSON unless noted):
 
 * ``POST /jobs``           — body ``{"first": <qasm>, "second": <qasm>}``;
   returns ``202 {"job_id", "fingerprint", "coalesced"}``.  Submissions are
   **deduplicated by fingerprint**: while a job for the same canonical pair
   is queued or running, an identical submission returns the *existing*
-  job id (``"coalesced": true``) instead of queueing a second run.
+  job id (``"coalesced": true``) instead of queueing a second run.  With a
+  ``queue_limit`` configured, a saturated queue answers ``429`` with a
+  ``Retry-After`` header instead of growing without bound.
 * ``GET /jobs/<id>``        — job status (``queued|running|done|failed``).
 * ``GET /jobs/<id>/result`` — the verdict payload (``409`` while pending).
+  ``?wait=N`` long-polls: the request blocks until the job settles or ``N``
+  seconds pass, so a well-behaved client needs one request, not a poll loop.
 * ``GET /stats``            — job counters, dedup counter, verdict-cache and
   service statistics.
+* ``GET /metrics``          — the unified registry in Prometheus text format.
 * ``GET /healthz``          — liveness probe with the package version.
 
 :class:`VerificationService` is the transport-free core (job queue, worker
-pool, dedup index) and is usable in-process; :class:`VerificationServer`
-wraps it in a ``ThreadingHTTPServer`` for the CLI, tests and examples.
+pool, dedup index, settled-event plumbing) shared by this module's
+``ThreadingHTTPServer`` front end and the asyncio front end in
+:mod:`repro.service.aserver`.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
 
 from repro.circuit.qasm import circuit_from_qasm
 from repro.core.configuration import Configuration
 from repro.core.manager import EquivalenceCheckingManager
 from repro.exceptions import ReproError, ServiceError
 from repro.service.fingerprint import fingerprints_sound_for, pair_fingerprint
+from repro.service.metrics import MetricsRegistry
 
 __all__ = ["VerificationJob", "VerificationServer", "VerificationService"]
 
@@ -48,6 +58,11 @@ __all__ = ["VerificationJob", "VerificationServer", "VerificationService"]
 #: (a 10k-gate circuit exports to well under 1 MB) while keeping a
 #: misbehaving client from making a handler thread buffer arbitrary data.
 _MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Cap on ``?wait=`` long-polls: a client asking for more still gets its
+#: (possibly 409) answer after this many seconds and may simply re-issue the
+#: request.  Bounds how long one request can pin a handler thread.
+MAX_LONG_POLL_SECONDS = 30.0
 
 
 @dataclass
@@ -64,6 +79,10 @@ class VerificationJob:
     finished_at: float | None = None
     result: dict | None = None
     error: str | None = None
+    # Set exactly once, when the job settles; long-poll waiters block on it.
+    settled: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
 
     def status_payload(self) -> dict:
         return {
@@ -80,7 +99,7 @@ class VerificationJob:
 
 
 class VerificationService:
-    """Transport-free job queue: submit, execute on a pool, poll, dedupe.
+    """Transport-free job queue: submit, execute on a pool, collect, dedupe.
 
     One :class:`~repro.core.manager.EquivalenceCheckingManager` (and hence
     one verdict cache) is shared across the worker pool; worker concurrency
@@ -91,11 +110,18 @@ class VerificationService:
     (e.g. unseeded simulative traffic that should redraw stimuli, or
     latency benchmarking).
 
+    ``queue_limit`` bounds the number of unsettled jobs: once that many are
+    queued or running, new (non-coalescing) submissions are rejected with a
+    429 :class:`ServiceError` carrying ``retry_after``.  ``None`` (the
+    default) keeps the PR-5 unbounded behaviour for in-process users; the
+    HTTP front ends enable it.
+
     The job table keeps the most recent ``max_finished_jobs`` settled jobs
-    for polling; older ones are pruned (their status/result become 404),
-    which bounds server memory regardless of uptime.  Queued and running
-    jobs are never pruned, and pruning never touches the verdict cache —
-    a re-submission of a pruned pair is still a cache hit.
+    for polling; older ones are pruned, which bounds server memory
+    regardless of uptime.  Pruning never touches the verdict cache, and a
+    pruned-but-settled job id remains *resolvable*: its result is served
+    from the verdict cache when possible and otherwise answered with a
+    distinguishable 410 ("pruned, resubmit") instead of a bare 404.
     """
 
     def __init__(
@@ -104,18 +130,25 @@ class VerificationService:
         *,
         cache: bool = True,
         max_finished_jobs: int = 1024,
+        queue_limit: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         configuration = configuration or Configuration()
         if cache and not configuration.cache_enabled:
             configuration = configuration.updated(verdict_cache=True)
+        if not cache and configuration.cache_enabled:
+            configuration = configuration.updated(verdict_cache=False, cache_path=None)
         if max_finished_jobs < 1:
             raise ServiceError("max_finished_jobs must be at least 1", status=500)
+        if queue_limit is not None and queue_limit < 1:
+            raise ServiceError("queue_limit must be at least 1", status=500)
         self.configuration = configuration
         # Dedup by fingerprint is only sound when the tolerance cannot
         # out-resolve the canonical form (same rule the manager applies to
         # its cache); otherwise every submission gets its own job.
         self._dedup_enabled = fingerprints_sound_for(configuration)
         self.max_finished_jobs = max_finished_jobs
+        self.queue_limit = queue_limit
         self.manager = EquivalenceCheckingManager(configuration)
         self._executor = ThreadPoolExecutor(
             max_workers=configuration.max_workers, thread_name_prefix="verify-service"
@@ -124,12 +157,81 @@ class VerificationService:
         self._jobs: dict[str, VerificationJob] = {}
         self._in_flight: dict[str, str] = {}  # fingerprint -> queued/running job id
         self._finished: deque[str] = deque()  # settled job ids, oldest first
+        # Pruned-but-settled jobs stay resolvable: job id -> (fingerprint,
+        # name_first, name_second, final status).  Bounded like the job table.
+        self._pruned: dict[str, tuple[str, str, str, str]] = {}
+        self._pruned_order: deque[str] = deque()
+        self._max_pruned = max(1024, 8 * max_finished_jobs)
+        self._listeners: dict[str, list[Callable[[], None]]] = {}
+        self._active = 0  # queued + running jobs
         self._next_id = 0
         self._started_at = time.time()
         self.submitted = 0
         self.executed = 0
         self.coalesced = 0
         self.failed = 0
+        self.rejected = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._register_metrics()
+        # The manager observes per-checker latency histograms and cache-hit
+        # counters into the same registry.
+        self.manager.metrics = self.metrics
+
+    def _register_metrics(self) -> None:
+        registry = self.metrics
+        self._m_submitted = registry.counter(
+            "repro_service_submissions_total",
+            "Circuit-pair submissions accepted by the job queue.",
+        )
+        self._m_coalesced = registry.counter(
+            "repro_service_coalesced_total",
+            "Submissions answered with an existing in-flight job id.",
+        )
+        self._m_rejected = registry.counter(
+            "repro_service_rejected_total",
+            "Submissions rejected before queueing.",
+            labelnames=("reason",),
+        )
+        self._m_settled = registry.counter(
+            "repro_service_jobs_settled_total",
+            "Jobs that reached a terminal status.",
+            labelnames=("status",),
+        )
+        self._m_job_seconds = registry.histogram(
+            "repro_service_job_seconds",
+            "Submission-to-settlement latency of verification jobs.",
+            labelnames=("status",),
+        )
+        depth = registry.gauge(
+            "repro_service_queue_depth",
+            "Jobs currently queued or running.",
+        )
+        depth.set_function(self.queue_depth)
+        cache_events = registry.gauge(
+            "repro_verdict_cache_events",
+            "Verdict-cache lifetime counters (harvested at scrape time).",
+            labelnames=("event",),
+        )
+        cache_entries = registry.gauge(
+            "repro_verdict_cache_entries",
+            "Entries currently held by the verdict cache.",
+        )
+        cache_hit_ratio = registry.gauge(
+            "repro_verdict_cache_hit_ratio",
+            "Fraction of verdict-cache lookups that hit.",
+        )
+
+        def _collect_cache() -> None:
+            cache = self.manager.verdict_cache
+            if cache is None:
+                return
+            stats = cache.statistics()
+            for event in ("hits", "misses", "persistent_hits", "stores", "evictions"):
+                cache_events.set(float(stats[event]), event=event)
+            cache_entries.set(float(stats["entries"]))
+            cache_hit_ratio.set(float(stats["hit_ratio"]))
+
+        registry.add_collector(_collect_cache)
 
     # ------------------------------------------------------------------
     # job lifecycle
@@ -150,20 +252,42 @@ class VerificationService:
         return self.submit(first, second)
 
     def submit(self, first, second) -> dict:
-        """Queue one circuit pair; identical in-flight submissions coalesce."""
+        """Queue one circuit pair; identical in-flight submissions coalesce.
+
+        Raises :class:`ServiceError` 429 (with ``retry_after``) when a
+        configured ``queue_limit`` is reached — coalesced submissions are
+        exempt, they consume no queue slot.
+        """
         fingerprint = pair_fingerprint(first, second, self.configuration)
         with self._lock:
             self.submitted += 1
+            self._m_submitted.inc()
             existing_id = (
                 self._in_flight.get(fingerprint) if self._dedup_enabled else None
             )
             if existing_id is not None:
                 self.coalesced += 1
+                self._m_coalesced.inc()
                 return {
                     "job_id": existing_id,
                     "fingerprint": fingerprint,
                     "coalesced": True,
                 }
+            if self.queue_limit is not None and self._active >= self.queue_limit:
+                self.rejected += 1
+                self._m_rejected.inc(reason="backpressure")
+                # Rough drain estimate: a full queue clears one worker-batch
+                # at a time; clients should back off at least one second.
+                retry_after = max(
+                    1.0,
+                    math.ceil(self._active / max(1, self.configuration.max_workers)),
+                )
+                raise ServiceError(
+                    f"job queue is full ({self._active} unsettled jobs, "
+                    f"limit {self.queue_limit}); retry later",
+                    status=429,
+                    retry_after=retry_after,
+                )
             self._next_id += 1
             job = VerificationJob(
                 job_id=f"job-{self._next_id:06d}",
@@ -172,6 +296,7 @@ class VerificationService:
                 name_second=getattr(second, "name", "second"),
             )
             self._jobs[job.job_id] = job
+            self._active += 1
             if self._dedup_enabled:
                 self._in_flight[fingerprint] = job.job_id
         try:
@@ -182,6 +307,7 @@ class VerificationService:
             # "queued" husk that no worker will ever pick up.
             with self._lock:
                 self._jobs.pop(job.job_id, None)
+                self._active -= 1
                 if self._in_flight.get(job.fingerprint) == job.job_id:
                     del self._in_flight[job.fingerprint]
             raise ServiceError(
@@ -190,69 +316,177 @@ class VerificationService:
         return {"job_id": job.job_id, "fingerprint": fingerprint, "coalesced": False}
 
     def _execute(self, job: VerificationJob, first, second) -> None:
-        job.status = "running"
-        job.started_at = time.time()
+        with self._lock:
+            job.status = "running"
+            job.started_at = time.time()
+        result_payload: dict | None = None
+        error_text: str | None = None
         try:
             # The submission path already fingerprinted the pair for dedup;
             # hand the digest to the manager so a cache hit does not pay for
             # a second canonicalization pass.
             result = self.manager.run(first, second, fingerprint=job.fingerprint)
-            job.result = {
+            result_payload = {
                 "first": job.name_first,
                 "second": job.name_second,
                 **result.to_json(),
             }
-            job.status = "done"
         except Exception as error:  # noqa: BLE001 - isolate per-job failures
-            job.error = f"{type(error).__name__}: {error}"
-            job.status = "failed"
-        finally:
+            error_text = f"{type(error).__name__}: {error}"
+        # Settle the job: every field a reader can observe changes under the
+        # lock, in one critical section — a concurrent ``job_status`` sees
+        # either the running job or the fully settled one, never a torn
+        # status/result/timestamp combination.
+        with self._lock:
+            if result_payload is not None:
+                job.result = result_payload
+                job.status = "done"
+                self.executed += 1
+            else:
+                job.error = error_text
+                job.status = "failed"
+                self.failed += 1
             job.finished_at = time.time()
-            with self._lock:
-                if job.status == "done":
-                    self.executed += 1
-                else:
-                    self.failed += 1
-                # Drop the dedup index entry only if it still points at this
-                # job: later identical submissions must queue a fresh run once
-                # this one has settled (the verdict cache serves them fast).
-                if self._in_flight.get(job.fingerprint) == job.job_id:
-                    del self._in_flight[job.fingerprint]
-                # Retention: keep only the newest settled jobs around for
-                # polling so the table cannot grow without bound.
-                self._finished.append(job.job_id)
-                while len(self._finished) > self.max_finished_jobs:
-                    self._jobs.pop(self._finished.popleft(), None)
+            self._active -= 1
+            self._m_settled.inc(status=job.status)
+            self._m_job_seconds.observe(
+                job.finished_at - job.submitted_at, status=job.status
+            )
+            # Drop the dedup index entry only if it still points at this
+            # job: later identical submissions must queue a fresh run once
+            # this one has settled (the verdict cache serves them fast).
+            if self._in_flight.get(job.fingerprint) == job.job_id:
+                del self._in_flight[job.fingerprint]
+            # Retention: keep only the newest settled jobs around for
+            # polling so the table cannot grow without bound.  Pruned jobs
+            # leave a resolvable stub behind (see job_result).
+            self._finished.append(job.job_id)
+            while len(self._finished) > self.max_finished_jobs:
+                pruned_id = self._finished.popleft()
+                pruned = self._jobs.pop(pruned_id, None)
+                if pruned is not None:
+                    self._pruned[pruned_id] = (
+                        pruned.fingerprint,
+                        pruned.name_first,
+                        pruned.name_second,
+                        pruned.status,
+                    )
+                    self._pruned_order.append(pruned_id)
+            while len(self._pruned_order) > self._max_pruned:
+                self._pruned.pop(self._pruned_order.popleft(), None)
+            listeners = self._listeners.pop(job.job_id, [])
+        # Wake long-poll waiters outside the lock: listener callbacks may
+        # take their own locks (asyncio loop internals) and must not be able
+        # to deadlock against job submission.
+        job.settled.set()
+        for callback in listeners:
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 - a dead waiter must not poison others
+                continue
 
-    def _job(self, job_id: str) -> VerificationJob:
+    # ------------------------------------------------------------------
+    # completion waiting
+    # ------------------------------------------------------------------
+
+    def wait_settled(self, job_id: str, timeout: float) -> bool:
+        """Block until ``job_id`` settles or ``timeout`` seconds pass.
+
+        Returns True once the job is settled (or unknown/pruned — the
+        follow-up ``job_result`` call resolves those to their proper
+        errors); False on timeout.
+        """
         with self._lock:
             job = self._jobs.get(job_id)
-        if job is None:
-            raise ServiceError(f"unknown job {job_id!r}", status=404)
-        return job
+            if job is None or job.status in ("done", "failed"):
+                return True
+            event = job.settled
+        return event.wait(timeout)
+
+    def add_settled_listener(self, job_id: str, callback: Callable[[], None]) -> bool:
+        """Invoke ``callback`` (once, from the worker thread) when the job settles.
+
+        Returns False — without registering — when the job is already
+        settled, pruned or unknown, so a caller can fall through to
+        ``job_result`` immediately.  The asyncio front end registers a
+        ``loop.call_soon_threadsafe`` trampoline here.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.status in ("done", "failed"):
+                return False
+            self._listeners.setdefault(job_id, []).append(callback)
+            return True
+
+    # ------------------------------------------------------------------
+    # job lookup
+    # ------------------------------------------------------------------
 
     def job_status(self, job_id: str) -> dict:
-        return self._job(job_id).status_payload()
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job.status_payload()
+            pruned = self._pruned.get(job_id)
+        if pruned is not None:
+            raise ServiceError(
+                f"job {job_id!r} settled as {pruned[3]!r} and was pruned from the "
+                "job table; fetch its result or resubmit the pair",
+                status=410,
+            )
+        raise ServiceError(f"unknown job {job_id!r}", status=404)
 
     def job_result(self, job_id: str) -> dict:
         """The verdict payload of a finished job.
 
         Raises :class:`ServiceError` 409 while the job is still queued or
-        running (poll again) and 500 for a failed job.
+        running (poll or long-poll again) and 500 for a failed job.  A job
+        pruned by the ``max_finished_jobs`` retention policy is served from
+        the verdict cache when its verdict is still there, and otherwise
+        answered with 410 — distinguishable from the 404 of a job id this
+        server never issued.
         """
-        job = self._job(job_id)
-        if job.status in ("queued", "running"):
-            raise ServiceError(
-                f"job {job_id!r} is still {job.status}; poll again", status=409
-            )
-        if job.status == "failed":
-            raise ServiceError(f"job {job_id!r} failed: {job.error}", status=500)
-        assert job.result is not None
-        return job.result
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                if job.status in ("queued", "running"):
+                    raise ServiceError(
+                        f"job {job_id!r} is still {job.status}; poll again", status=409
+                    )
+                if job.status == "failed":
+                    raise ServiceError(
+                        f"job {job_id!r} failed: {job.error}", status=500
+                    )
+                assert job.result is not None
+                return dict(job.result)
+            pruned = self._pruned.get(job_id)
+        if pruned is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        fingerprint, name_first, name_second, status = pruned
+        if status == "done":
+            cache = self.manager.verdict_cache
+            cached = cache.get(fingerprint) if cache is not None else None
+            if cached is not None:
+                return {
+                    "first": name_first,
+                    "second": name_second,
+                    **cached.to_json(),
+                    "served_from": "verdict_cache",
+                }
+        raise ServiceError(
+            f"job {job_id!r} settled as {status!r} but was pruned and its verdict "
+            "is no longer cached; resubmit the pair",
+            status=410,
+        )
 
     # ------------------------------------------------------------------
     # reporting and shutdown
     # ------------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Number of jobs currently queued or running."""
+        with self._lock:
+            return self._active
 
     def stats(self) -> dict:
         from repro import __version__
@@ -270,13 +504,31 @@ class VerificationService:
                 "executed": self.executed,
                 "coalesced": self.coalesced,
                 "failed": self.failed,
+                "rejected": self.rejected,
+                "queue_depth": self._active,
+                "queue_limit": self.queue_limit,
                 "in_flight": len(self._in_flight),
+                "pruned": len(self._pruned),
                 "jobs": by_status,
                 "cache": cache.statistics() if cache is not None else None,
             }
 
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)
+
+
+def parse_wait_seconds(query: dict[str, list[str]]) -> float:
+    """The ``?wait=`` long-poll budget of a result request, validated and capped."""
+    raw = query.get("wait")
+    if not raw:
+        return 0.0
+    try:
+        wait = float(raw[0])
+    except ValueError:
+        raise ServiceError(f"invalid wait value {raw[0]!r}", status=400) from None
+    if wait < 0 or wait != wait:  # negative or NaN
+        raise ServiceError(f"invalid wait value {raw[0]!r}", status=400)
+    return min(wait, MAX_LONG_POLL_SECONDS)
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -296,36 +548,68 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def service(self) -> VerificationService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload: dict, headers: dict | None = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _safe_send(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        # A client that disconnects before (or while) the response is written
+        # surfaces as BrokenPipeError/ConnectionResetError here; the request
+        # is already fully processed, so the only correct reaction is to drop
+        # the connection quietly instead of killing the handler thread with a
+        # traceback.
+        try:
+            self._send(status, payload, headers)
+        except OSError:
+            self.close_connection = True
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:
+            self.close_connection = True
 
     def _handle(self, handler) -> None:
         try:
             status, payload = handler()
         except ServiceError as error:
-            self._send(error.status, {"error": str(error)})
+            headers = {}
+            if error.retry_after is not None:
+                headers["Retry-After"] = str(max(1, math.ceil(error.retry_after)))
+            self._safe_send(error.status, {"error": str(error)}, headers)
         except TimeoutError:
             # The socket timeout fired mid-request (a client stalling inside
             # its declared body): answer 408 if the socket still accepts it
             # and drop the connection so the thread is freed either way.
             self.close_connection = True
-            try:
-                self._send(408, {"error": "timed out reading the request"})
-            except OSError:
-                pass
+            self._safe_send(408, {"error": "timed out reading the request"})
         except Exception as error:  # noqa: BLE001 - a handler bug must not kill the thread
-            self._send(500, {"error": f"{type(error).__name__}: {error}"})
+            self._safe_send(500, {"error": f"{type(error).__name__}: {error}"})
         else:
-            self._send(status, payload)
+            self._safe_send(status, payload)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        if parts == ["metrics"]:
+            self._send_text(
+                200, self.service.metrics.render(), "text/plain; version=0.0.4"
+            )
+            return
+        query = parse_qs(split.query)
+
         def handler():
-            parts = [part for part in self.path.split("?", 1)[0].split("/") if part]
             if parts == ["stats"]:
                 return 200, self.service.stats()
             if parts == ["healthz"]:
@@ -335,6 +619,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             if len(parts) == 2 and parts[0] == "jobs":
                 return 200, self.service.job_status(parts[1])
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                wait = parse_wait_seconds(query)
+                if wait > 0:
+                    self.service.wait_settled(parts[1], wait)
                 return 200, self.service.job_result(parts[1])
             raise ServiceError(f"unknown endpoint {self.path!r}", status=404)
 
@@ -379,7 +666,9 @@ class VerificationServer(ThreadingHTTPServer):
     ``port=0`` binds an ephemeral port (read it back from :attr:`port`) —
     handy for tests and CI.  :meth:`start_background` serves on a daemon
     thread so in-process users (the example, the test suite) can drive a
-    real client against it.
+    real client against it.  The service knobs (``cache``,
+    ``max_finished_jobs``, ``queue_limit``) are forwarded verbatim to
+    :class:`VerificationService`.
     """
 
     daemon_threads = True
@@ -389,9 +678,19 @@ class VerificationServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         configuration: Configuration | None = None,
+        *,
+        cache: bool = True,
+        max_finished_jobs: int = 1024,
+        queue_limit: int | None = None,
     ):
         super().__init__((host, port), _ServiceRequestHandler)
-        self.service = VerificationService(configuration)
+        self._serving = threading.Event()
+        self.service = VerificationService(
+            configuration,
+            cache=cache,
+            max_finished_jobs=max_finished_jobs,
+            queue_limit=queue_limit,
+        )
 
     @property
     def port(self) -> int:
@@ -401,14 +700,22 @@ class VerificationServer(ThreadingHTTPServer):
     def url(self) -> str:
         return f"http://{self.server_address[0]}:{self.port}"
 
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving.set()
+        super().serve_forever(poll_interval)
+
     def start_background(self) -> threading.Thread:
         thread = threading.Thread(
             target=self.serve_forever, name="verification-server", daemon=True
         )
         thread.start()
+        self._serving.wait(timeout=5.0)
         return thread
 
     def close(self) -> None:
-        self.shutdown()
+        # shutdown() blocks on an event only serve_forever sets; skip it for
+        # a server that was constructed but never served.
+        if self._serving.is_set():
+            self.shutdown()
         self.server_close()
         self.service.shutdown(wait=False)

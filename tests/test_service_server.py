@@ -158,10 +158,18 @@ class TestServiceInProcess:
                     time.sleep(0.01)
                     deadline -= 0.01
                     assert deadline > 0, "job did not finish"
-            # Oldest settled job fell off the retention window ...
+            # Oldest settled job fell off the retention window: its status is
+            # gone, but distinguishably so (410 "pruned", not a bare 404 as
+            # for a job id this server never issued) ...
             with pytest.raises(ServiceError) as excinfo:
                 service.job_status(job_ids[0])
+            assert excinfo.value.status == 410
+            with pytest.raises(ServiceError) as excinfo:
+                service.job_status("job-999999")
             assert excinfo.value.status == 404
+            # ... and its verdict is still served from the cache.
+            pruned_result = service.job_result(job_ids[0])
+            assert pruned_result["served_from"] == "verdict_cache"
             # ... the newest two are still pollable, and the verdict cache
             # still remembers the pruned pair.
             assert service.job_status(job_ids[2])["status"] == "done"
@@ -266,6 +274,107 @@ class TestServiceInProcess:
         # onto, no stuck in-flight fingerprint.
         assert service.stats()["in_flight"] == 0
         assert service.stats()["jobs"] == {}
+
+    def test_status_reads_are_never_torn_while_job_settles(self):
+        # Regression: _execute used to mutate job fields outside the service
+        # lock, so a concurrent job_status could observe status == "done" with
+        # finished_at/result still unset.  Hammer status from several threads
+        # while jobs settle and assert every snapshot is internally consistent.
+        service = VerificationService(Configuration(seed=SEED, max_workers=2))
+        try:
+            submissions = [
+                service.submit(ghz_ladder(size), ghz_ladder(size))
+                for size in (2, 3, 4)
+            ]
+            job_ids = [submission["job_id"] for submission in submissions]
+            torn: list[dict] = []
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    for job_id in job_ids:
+                        snapshot = service.job_status(job_id)
+                        if snapshot["status"] == "done" and (
+                            snapshot["finished_at"] is None
+                            or service.job_result(job_id) is None
+                        ):
+                            torn.append(snapshot)
+                        if snapshot["status"] == "running" and (
+                            snapshot["started_at"] is None
+                        ):
+                            torn.append(snapshot)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                for job_id in job_ids:
+                    assert service.wait_settled(job_id, timeout=30.0)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10.0)
+            assert torn == []
+        finally:
+            service.shutdown()
+
+    def test_wait_settled_and_listeners(self):
+        service = VerificationService(Configuration(seed=SEED, max_workers=1))
+        try:
+            submission = service.submit(ghz_ladder(3), ghz_ladder(3))
+            job_id = submission["job_id"]
+            woken = threading.Event()
+            registered = service.add_settled_listener(job_id, woken.set)
+            assert service.wait_settled(job_id, timeout=30.0)
+            if registered:
+                assert woken.wait(timeout=5.0)
+            # Once settled, a new listener is refused instead of queued.
+            assert service.add_settled_listener(job_id, woken.set) is False
+            # Unknown ids report settled immediately (nothing to wait for).
+            assert service.wait_settled("job-999999", timeout=0.1)
+        finally:
+            service.shutdown()
+
+    def test_thread_backend_queue_limit_backpressure(self):
+        service = VerificationService(
+            Configuration(seed=SEED, max_workers=1), queue_limit=1
+        )
+        try:
+            gate = threading.Event()
+            original = service.manager.run
+
+            def held(first, second, **kwargs):
+                assert gate.wait(30.0)
+                return original(first, second, **kwargs)
+
+            service.manager.run = held
+            accepted = service.submit(ghz_ladder(3), ghz_ladder(3))
+            with pytest.raises(ServiceError) as excinfo:
+                service.submit(ghz_ladder(4), ghz_ladder(4))
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            gate.set()
+            assert service.wait_settled(accepted["job_id"], timeout=30.0)
+            assert service.submit(ghz_ladder(4), ghz_ladder(4))["job_id"]
+            assert service.stats()["rejected"] == 1
+        finally:
+            gate.set()
+            service.shutdown()
+
+    def test_server_forwards_cache_and_retention_knobs(self):
+        server = VerificationServer(
+            port=0,
+            configuration=Configuration(seed=SEED, max_workers=1),
+            cache=False,
+            max_finished_jobs=7,
+            queue_limit=3,
+        )
+        try:
+            assert server.service.manager.verdict_cache is None
+            assert server.service.max_finished_jobs == 7
+            assert server.service.queue_limit == 3
+        finally:
+            server.close()
 
     def test_many_concurrent_submissions_one_execution(self):
         service = VerificationService(Configuration(seed=SEED, max_workers=2))

@@ -1,7 +1,11 @@
 """Tests for Scheme 1: unitary reconstruction through circuit transformation."""
 
+import random
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.algorithms import iterative_qpe, qpe_static, running_example_lambda
 from repro.circuit import QuantumCircuit
@@ -24,15 +28,105 @@ class TestConditionedResets:
         circuit.measure(0, 1)
         return circuit
 
-    def test_substitute_resets_rejects_conditioned_reset(self):
-        # Regression: the rewiring used to drop the classical condition,
-        # miscompiling a conditional reset into an unconditional one.
-        with pytest.raises(TransformationError, match="classically-conditioned reset"):
-            substitute_resets(self._conditioned_reset_circuit())
+    def _cross_qubit_conditioned_reset_circuit(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.x(1)
+        circuit.measure(0, 0)
+        circuit.reset(1, condition=(0, 1))
+        circuit.measure(1, 1)
+        return circuit
 
-    def test_to_unitary_circuit_rejects_conditioned_reset(self):
-        with pytest.raises(TransformationError):
+    def test_substitute_resets_emits_conditioned_swap(self):
+        # A conditioned reset becomes a conditioned SWAP with a fresh |0>
+        # ancilla: the role qubit conditionally trades its state for |0>,
+        # which is a reset with the garbage parked on the ancilla.  (The old
+        # behaviour — raising — would have miscompiled nothing, but forced
+        # every such pair onto the Scheme 2 checkers only.)
+        substituted = substitute_resets(self._cross_qubit_conditioned_reset_circuit())
+        assert substituted.num_qubits == 3
+        assert substituted.num_resets == 0
+        swaps = [inst for inst in substituted if inst.operation.name == "swap"]
+        assert len(swaps) == 1
+        assert swaps[0].qubits == (1, 2)
+        assert swaps[0].condition is not None
+
+    def test_conditioned_reset_reconstruction_preserves_distribution(self):
+        from repro.core.extraction import extract_distribution
+
+        circuit = self._cross_qubit_conditioned_reset_circuit()
+        reconstructed = to_unitary_circuit(circuit).circuit
+        assert not reconstructed.is_dynamic
+        original = extract_distribution(circuit).distribution
+        rebuilt = extract_distribution(reconstructed).distribution
+        assert original == pytest.approx(rebuilt)
+
+    def test_self_conditioned_reset_still_rejected_at_deferral(self):
+        # Resetting the very qubit that sourced the condition has no unitary
+        # reconstruction: the deferred control and the swap target coincide.
+        # substitute_resets succeeds (the swap is structurally fine) but
+        # defer_measurements reports the measured-qubit reuse.
+        substituted = substitute_resets(self._conditioned_reset_circuit())
+        assert substituted.num_resets == 0
+        with pytest.raises(TransformationError, match="used after being measured"):
             to_unitary_circuit(self._conditioned_reset_circuit())
+
+    def test_conditioned_reset_on_untouched_qubit_is_dropped(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.reset(1, condition=(0, 1))  # qubit 1 still |0>: no-op either way
+        substituted = substitute_resets(circuit)
+        assert substituted.num_qubits == 2
+        assert all(inst.operation.name != "swap" for inst in substituted)
+
+    @staticmethod
+    def _random_conditioned_reset_circuit(num_qubits: int, seed: int):
+        """A reconstructible random circuit containing a conditioned reset.
+
+        ``random_dynamic_circuit`` never emits conditioned resets, so this
+        builds the shape by hand: random state preparation, a mid-circuit
+        measurement, then a reset of a *different* qubit conditioned on that
+        outcome (the self-conditioned case has no unitary reconstruction).
+        """
+        rng = random.Random(seed)
+        circuit = QuantumCircuit(num_qubits, 2)
+        gates = ("h", "x", "s", "t", "sx")
+        for _ in range(rng.randint(1, 4)):
+            getattr(circuit, rng.choice(gates))(rng.randrange(num_qubits))
+        if num_qubits >= 2 and rng.random() < 0.5:
+            control, target = rng.sample(range(num_qubits), 2)
+            circuit.cx(control, target)
+        measured = rng.randrange(num_qubits)
+        circuit.measure(measured, 0)
+        target = rng.choice([q for q in range(num_qubits) if q != measured])
+        # Touch the target first so the reset is not dropped as a no-op.
+        getattr(circuit, rng.choice(gates))(target)
+        circuit.reset(target, condition=(0, rng.choice((0, 1))))
+        if rng.random() < 0.5:
+            getattr(circuit, rng.choice(gates))(target)
+        circuit.measure(target, 1)
+        return circuit
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_qubits=st.integers(2, 3), seed=st.integers(0, 10_000))
+    def test_reconstruction_agrees_with_distribution_extraction(
+        self, num_qubits, seed
+    ):
+        """Scheme 1 on conditioned resets matches the Scheme 2 semantics."""
+        from repro.core.extraction import extract_distribution
+
+        circuit = self._random_conditioned_reset_circuit(num_qubits, seed)
+        assert circuit.num_resets == 1
+        reconstructed = to_unitary_circuit(circuit).circuit
+        assert not reconstructed.is_dynamic
+        assert reconstructed.num_resets == 0
+        original = extract_distribution(circuit).distribution
+        rebuilt = extract_distribution(reconstructed).distribution
+        for key in set(original) | set(rebuilt):
+            assert original.get(key, 0.0) == pytest.approx(
+                rebuilt.get(key, 0.0), abs=1e-9
+            ), key
 
     def test_unconditioned_resets_still_substituted(self):
         circuit = QuantumCircuit(1, 2)
