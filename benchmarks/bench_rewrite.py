@@ -1,0 +1,242 @@
+"""Transpilation-aware verification: canonical cache hits and rewrite proving.
+
+Table-1 circuit families are verified at three translation levels of the same
+logical pair (original, CX + single-qubit basis, U-gate rewrite) under three
+modes:
+
+* ``cold``          — fresh manager, empty cache, DD portfolio: the PR-5
+  baseline, which treats every translation level as an unrelated pair.
+* ``canonical_hit`` — one cache-enabled manager sees the pair at level 1,
+  then levels 2 and 3: the later levels must be verdict-cache hits through
+  the canonical (translation-level-invariant) fingerprint.
+* ``rewrite_first`` — the adaptive scheduler front-loads the library-driven
+  ``rewrite`` prover on the translated pair, which must decide it by
+  peephole reduction alone — before any decision diagram is built.
+
+Gates (``RuntimeError`` → exit 1) are **semantic only**: verdict agreement
+across all modes and levels, at least one cross-level canonical cache hit,
+and the rewrite prover actually deciding.  Timings are recorded for trend
+tooling but never gated — CI machines are noisy.
+
+Results are emitted as ``BENCH_rewrite.json`` (schema shared via
+``bench_common.validate_bench_payload``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rewrite.py            # full run
+    PYTHONPATH=src python benchmarks/bench_rewrite.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+
+from bench_common import BENCH_SCHEMA_VERSION, SCALE, write_bench_json
+
+from repro.algorithms import (
+    bernstein_vazirani_static,
+    qft_static_benchmark,
+    qpe_static,
+)
+from repro.compilation import (
+    decompose_to_cx_and_single_qubit,
+    rewrite_single_qubit_to_u,
+)
+from repro.core import Configuration, EquivalenceCheckingManager
+
+SEED = 42
+
+#: Translation levels a canonical-hit run walks through, in order.
+NUM_LEVELS = 3
+
+FULL_FAMILIES = [
+    ("bv", lambda: bernstein_vazirani_static("101101")),
+    ("qft", lambda: qft_static_benchmark(5)),
+    ("qpe", lambda: qpe_static(4)),
+]
+QUICK_FAMILIES = [
+    ("bv", lambda: bernstein_vazirani_static("1011")),
+    ("qft", lambda: qft_static_benchmark(4)),
+]
+
+
+def _time_ms(callable_) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = callable_()
+    return (time.perf_counter() - start) * 1000.0, value
+
+
+def translation_levels(circuit):
+    """The same logical pair at three translation levels of its second half."""
+    level_one = decompose_to_cx_and_single_qubit(circuit)
+    level_two = rewrite_single_qubit_to_u(level_one)
+    return [
+        (circuit, circuit.copy()),
+        (circuit, level_one),
+        (circuit, level_two),
+    ]
+
+
+def bench_family(name: str, build, repeats: int) -> tuple[list[dict], dict]:
+    """All three modes over one Table-1 family; returns entries + speedups."""
+    circuit = build()
+    levels = translation_levels(circuit)
+    entries = []
+    criteria_by_mode: dict[str, list[str]] = {}
+    times_by_mode: dict[str, list[float]] = {}
+
+    # cold: every level pays a full DD-portfolio verification.
+    times = []
+    for _ in range(repeats):
+        criteria = []
+        total = 0.0
+        for pair in levels:
+            manager = EquivalenceCheckingManager(seed=SEED, verdict_cache=False)
+            elapsed, result = _time_ms(lambda pair=pair: manager.run(*pair))
+            total += elapsed
+            criteria.append(result.criterion.value)
+        times.append(total)
+        criteria_by_mode["cold"] = criteria
+    times_by_mode["cold"] = times
+
+    # canonical_hit: one cache-enabled manager walks the levels; the later
+    # levels must hit through the canonical fingerprint tier.
+    times = []
+    for _ in range(repeats):
+        manager = EquivalenceCheckingManager(seed=SEED, verdict_cache=True)
+        criteria = []
+        canonical_hits = 0
+        total = 0.0
+        for position, pair in enumerate(levels):
+            elapsed, result = _time_ms(lambda pair=pair: manager.run(*pair))
+            total += elapsed
+            criteria.append(result.criterion.value)
+            if position > 0:
+                if not result.cached:
+                    raise RuntimeError(
+                        f"{name}: translation level {position + 1} missed the "
+                        "verdict cache entirely"
+                    )
+                if result.cached_via == "canonical_fingerprint":
+                    canonical_hits += 1
+        if canonical_hits < 1:
+            raise RuntimeError(
+                f"{name}: no cross-level canonical cache hit "
+                f"(levels 2..{NUM_LEVELS} must reuse the level-1 verdict)"
+            )
+        times.append(total)
+        criteria_by_mode["canonical_hit"] = criteria
+    times_by_mode["canonical_hit"] = times
+
+    # rewrite_first: the adaptive scheduler front-loads the peephole prover,
+    # which must decide the translated levels without building any DD.
+    configuration = Configuration(
+        portfolio=("rewrite", "alternating"),
+        scheduler="adaptive",
+        seed=SEED,
+        verdict_cache=False,
+    )
+    times = []
+    for _ in range(repeats):
+        criteria = []
+        total = 0.0
+        for position, pair in enumerate(levels):
+            manager = EquivalenceCheckingManager(configuration)
+            elapsed, result = _time_ms(lambda pair=pair: manager.run(*pair))
+            total += elapsed
+            criteria.append(result.criterion.value)
+            if result.decided_by != "rewrite":
+                raise RuntimeError(
+                    f"{name}: level {position + 1} was decided by "
+                    f"{result.decided_by!r}, not the rewrite prover"
+                )
+        times.append(total)
+        criteria_by_mode["rewrite_first"] = criteria
+    times_by_mode["rewrite_first"] = times
+
+    for mode in ("cold", "canonical_hit", "rewrite_first"):
+        if criteria_by_mode[mode] != criteria_by_mode["cold"]:
+            raise RuntimeError(
+                f"{name}: verdict drift in mode {mode!r}: "
+                f"{criteria_by_mode[mode]} vs cold {criteria_by_mode['cold']}"
+            )
+        samples = times_by_mode[mode]
+        entries.append(
+            {
+                "name": f"rewrite/{name}/{mode}",
+                "workload": "translation_levels",
+                "family": name,
+                "num_levels": NUM_LEVELS,
+                "repeats": repeats,
+                "mean_ms": sum(samples) / len(samples),
+                "min_ms": min(samples),
+            }
+        )
+    speedups = {
+        f"{name}_canonical_hit_vs_cold": round(
+            min(times_by_mode["cold"]) / min(times_by_mode["canonical_hit"]), 2
+        ),
+        f"{name}_rewrite_vs_cold": round(
+            min(times_by_mode["cold"]) / min(times_by_mode["rewrite_first"]), 2
+        ),
+    }
+    return entries, speedups
+
+
+def run(args: argparse.Namespace) -> dict:
+    repeats = args.repeats or (2 if args.quick else 5)
+    families = QUICK_FAMILIES if args.quick else FULL_FAMILIES
+
+    entries: list[dict] = []
+    speedups: dict[str, float] = {}
+    for name, build in families:
+        family_entries, family_speedups = bench_family(name, build, repeats)
+        entries.extend(family_entries)
+        speedups.update(family_speedups)
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": "transpilation_aware_rewrite",
+        "scale": SCALE,
+        "python": platform.python_version(),
+        "results": entries,
+        "speedups": speedups,
+        "speedup_vs_baseline": speedups[f"{families[0][0]}_rewrite_vs_cold"],
+        "baseline": {
+            "source": "cold run (fresh manager per level, DD portfolio, no cache)"
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes / few repeats (CI smoke)"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--output", default="BENCH_rewrite.json", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = run(args)
+        write_bench_json(args.output, payload)
+    except (RuntimeError, ValueError) as error:
+        print(f"benchmark failed: {error}", file=sys.stderr)
+        return 1
+
+    for entry in payload["results"]:
+        print(
+            f"{entry['name']:>32} repeats={entry['repeats']:<2} "
+            f"min={entry['min_ms']:8.2f}ms"
+        )
+    for key, value in payload["speedups"].items():
+        print(f"{key}: {value}x")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@ Public surface:
 """
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.equivalence_library import (
+    EquivalenceLibrary,
+    StandardEquivalenceLibrary,
+)
 from repro.circuit.gates import (
     Barrier,
     CCXGate,
@@ -54,6 +58,7 @@ from repro.circuit.gates import (
     iSwapGate,
 )
 from repro.circuit.operations import ClassicalCondition, Instruction
+from repro.circuit.parameter import Parameter, ParameterExpression
 from repro.circuit.qasm import circuit_from_qasm, circuit_to_qasm
 from repro.circuit.random_circuits import random_dynamic_circuit, random_static_circuit
 from repro.circuit.registers import ClassicalRegister, Clbit, QuantumRegister, Qubit
@@ -76,6 +81,7 @@ __all__ = [
     "CXGate",
     "CYGate",
     "CZGate",
+    "EquivalenceLibrary",
     "Gate",
     "GlobalPhaseGate",
     "HGate",
@@ -85,6 +91,8 @@ __all__ = [
     "MCXGate",
     "Measure",
     "Operation",
+    "Parameter",
+    "ParameterExpression",
     "PhaseGate",
     "QuantumCircuit",
     "QuantumRegister",
@@ -95,6 +103,7 @@ __all__ = [
     "RZGate",
     "SdgGate",
     "SGate",
+    "StandardEquivalenceLibrary",
     "SwapGate",
     "SXdgGate",
     "SXGate",

@@ -603,6 +603,31 @@ class QuantumCircuit:
         other._data = [inst for inst in self._data if not inst.is_barrier]
         return other
 
+    @property
+    def free_parameters(self) -> frozenset:
+        """The symbolic parameters the circuit's gates still depend on."""
+        names: set = set()
+        for inst in self._data:
+            names |= inst.operation.free_parameters
+        return frozenset(names)
+
+    def bind_parameters(self, mapping) -> "QuantumCircuit":
+        """Substitute symbolic parameter values, returning a new circuit.
+
+        ``mapping`` maps :class:`~repro.circuit.parameter.Parameter` objects
+        (or their names) to numeric values.  Gates without free parameters
+        are shared unchanged; parameterized gates are rebuilt through their
+        constructors so binding re-runs full validation.
+        """
+        other = self.copy_empty()
+        other._data = [
+            inst.replace(operation=inst.operation.bind_parameters(mapping))
+            if inst.operation.free_parameters
+            else inst
+            for inst in self._data
+        ]
+        return other
+
     def remove_final_measurements(self) -> "QuantumCircuit":
         """Return a copy without the trailing measurement layer.
 

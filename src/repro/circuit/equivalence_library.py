@@ -1,0 +1,347 @@
+"""Single source of decomposition truth: the equivalence library.
+
+Before this module, three layers each kept their own decomposition tables:
+``Gate.definition()`` bodies in :mod:`repro.circuit.gates`, the isinstance
+ladder in :mod:`repro.compilation.basis`, and the controlled-composite
+factoring used by measurement deferral in :mod:`repro.core.transformation`.
+All three now resolve through one registry of *rules*
+
+    (gate name, arity, formal parameters)  ->  defining sub-circuit
+
+following the registration idiom of Qiskit's ``EquivalenceLibrary``: each
+rule stores a *template* gate (whose parameters are symbolic
+:class:`~repro.circuit.parameter.Parameter` objects for parameterized
+families) together with steps ``(gate, local qubit indices)``.  Looking up a
+concrete gate binds the template's formal parameters to the gate's actual
+values by substitution — parameterized families register once.
+
+Three lookup surfaces map onto the three former layers:
+
+* :meth:`EquivalenceLibrary.definition_steps` — what ``Gate.definition()``
+  returns: only rules tagged ``definition=True`` (the backend-facing
+  decompositions of ``swap``/``iswap``/``iswapdg``/``cswap``).
+* :meth:`EquivalenceLibrary.controlled_factoring` — the
+  ``C(U_k ... U_1) = C(U_k) ... C(U_1)`` product rule for controlled gates
+  with a decomposable multi-qubit base.
+* :meth:`EquivalenceLibrary.translation_steps` — the full search used by
+  basis translation: named rule, else negative-control normalization
+  (X-conjugation onto the all-ones control state), else controlled
+  factoring, else ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.gates import (
+    CCXGate,
+    CCZGate,
+    ControlledGate,
+    CPhaseGate,
+    CRXGate,
+    CRYGate,
+    CRZGate,
+    CSwapGate,
+    CUGate,
+    CXGate,
+    Gate,
+    HGate,
+    PhaseGate,
+    RYGate,
+    RZGate,
+    SGate,
+    SwapGate,
+    XGate,
+    _InverseISwapGate,
+    iSwapGate,
+)
+from repro.circuit.parameter import Parameter
+from repro.exceptions import CircuitError
+
+__all__ = ["EquivalenceLibrary", "StandardEquivalenceLibrary"]
+
+Steps = Sequence[tuple[Gate, tuple[int, ...]]]
+
+
+class _Rule:
+    """One registered equivalence: a template gate and its defining steps."""
+
+    __slots__ = ("template", "steps", "is_definition")
+
+    def __init__(self, template: Gate, steps: Steps, is_definition: bool):
+        self.template = template
+        self.steps = tuple((gate, tuple(qubits)) for gate, qubits in steps)
+        self.is_definition = is_definition
+
+
+class EquivalenceLibrary:
+    """Registry mapping gates to defining sub-circuits on local qubit indices."""
+
+    def __init__(self) -> None:
+        self._rules: dict[tuple[str, int], _Rule] = {}
+
+    # -- registration --------------------------------------------------
+
+    def add_equivalence(
+        self, template: Gate, steps: Steps, *, definition: bool = False
+    ) -> None:
+        """Register ``template -> steps``.
+
+        ``template``'s parameters must all be plain :class:`Parameter`
+        objects (the formal angles the steps are written in); lookups bind
+        them to a concrete gate's values.  ``definition=True`` marks the
+        rule as the gate's backend-facing ``definition()`` (the historic
+        ``Gate.definition()`` bodies); untagged rules are translation-only.
+        """
+        for value in template.params:
+            if not isinstance(value, Parameter):
+                raise CircuitError(
+                    f"template {template.name!r} parameters must be Parameter "
+                    f"objects, got {value!r}"
+                )
+        for gate, qubits in steps:
+            if any(q < 0 or q >= template.num_qubits for q in qubits):
+                raise CircuitError(
+                    f"rule for {template.name!r} references qubit outside "
+                    f"range({template.num_qubits}): {qubits}"
+                )
+        self._rules[(template.name, template.num_qubits)] = _Rule(
+            template, steps, definition
+        )
+
+    # -- matching ------------------------------------------------------
+
+    def _match(self, gate: Gate) -> _Rule | None:
+        rule = self._rules.get((gate.name, gate.num_qubits))
+        if rule is None:
+            return None
+        template = rule.template
+        if len(template.params) != len(gate.params):
+            return None
+        if isinstance(template, ControlledGate) != isinstance(gate, ControlledGate):
+            return None
+        if isinstance(template, ControlledGate) and (
+            template.num_ctrl_qubits != gate.num_ctrl_qubits
+            or template.ctrl_state != gate.ctrl_state
+        ):
+            return None
+        return rule
+
+    def _instantiate(self, rule: _Rule, gate: Gate) -> list[tuple[Gate, tuple[int, ...]]]:
+        if not rule.template.params:
+            return list(rule.steps)
+        mapping = dict(zip(rule.template.params, gate.params))
+        return [
+            (step_gate.bind_parameters(mapping), qubits)
+            for step_gate, qubits in rule.steps
+        ]
+
+    def has_entry(self, gate: Gate) -> bool:
+        """Whether a named rule matches this gate exactly."""
+        return self._match(gate) is not None
+
+    # -- lookup surfaces -----------------------------------------------
+
+    def definition_steps(self, gate: Gate) -> list[tuple[Gate, tuple[int, ...]]] | None:
+        """The ``Gate.definition()`` body: definition-tagged rules only."""
+        rule = self._match(gate)
+        if rule is None or not rule.is_definition:
+            return None
+        return self._instantiate(rule, gate)
+
+    def controlled_factoring(
+        self, gate: ControlledGate
+    ) -> list[tuple[Gate, tuple[int, ...]]] | None:
+        """Factor a controlled composite: ``C(U_k ... U_1) = C(U_k) ... C(U_1)``.
+
+        Backends handle controlled *single-qubit* gates natively, so those
+        (and controlled gates whose base has no definition) return ``None``.
+        """
+        if gate.base_gate.num_qubits <= 1:
+            return None
+        base_definition = self.definition_steps(gate.base_gate)
+        if base_definition is None and isinstance(gate.base_gate, ControlledGate):
+            base_definition = self.controlled_factoring(gate.base_gate)
+        if base_definition is None:
+            return None
+        nc = gate.num_ctrl_qubits
+        controls = tuple(range(nc))
+        return [
+            (sub_gate.control(nc, gate.ctrl_state), controls + tuple(nc + q for q in qubits))
+            for sub_gate, qubits in base_definition
+        ]
+
+    def translation_steps(
+        self, gate: Gate
+    ) -> list[tuple[Gate, tuple[int, ...]]] | None:
+        """Full rewrite search used by basis translation.
+
+        Order: exact named rule; negative-control normalization
+        (X-conjugate the zero-controls so the all-ones rule applies);
+        controlled factoring of a composite base.  Returns ``None`` when the
+        library has nothing to say — callers fall back to numeric (ZYZ)
+        machinery or report the gate as unsupported.
+        """
+        rule = self._match(gate)
+        if rule is not None:
+            return self._instantiate(rule, gate)
+        if isinstance(gate, ControlledGate):
+            normalized = self._normalize_controls(gate)
+            if normalized is not None:
+                return normalized
+            return self.controlled_factoring(gate)
+        return None
+
+    def _normalize_controls(
+        self, gate: ControlledGate
+    ) -> list[tuple[Gate, tuple[int, ...]]] | None:
+        """X-conjugate negative controls onto the all-ones control state.
+
+        Only applies when the all-ones form itself has a named rule —
+        otherwise normalizing would just push an unsupported gate one level
+        deeper (and singly-controlled single-qubit gates already handle
+        ``ctrl_state == 0`` in their numeric ABC fallback).
+        """
+        all_ones = (1 << gate.num_ctrl_qubits) - 1
+        if gate.ctrl_state == all_ones:
+            return None
+        positive = ControlledGate(gate.base_gate, gate.num_ctrl_qubits, all_ones)
+        if not self.has_entry(positive):
+            return None
+        flips = [
+            (XGate(), (control,))
+            for control in range(gate.num_ctrl_qubits)
+            if not (gate.ctrl_state >> control) & 1
+        ]
+        body = (positive, tuple(range(gate.num_qubits)))
+        return [*flips, body, *flips]
+
+
+def _inverted(steps: Steps) -> list[tuple[Gate, tuple[int, ...]]]:
+    """The inverse sub-circuit: reversed order, each gate inverted."""
+    return [(gate.inverse(), qubits) for gate, qubits in reversed(list(steps))]
+
+
+def _toffoli_steps() -> list[tuple[Gate, tuple[int, ...]]]:
+    """Standard 6-CNOT Toffoli decomposition on (control a, control b, target c)."""
+    from repro.circuit.gates import TdgGate, TGate
+
+    return [
+        (HGate(), (2,)),
+        (CXGate(), (1, 2)),
+        (TdgGate(), (2,)),
+        (CXGate(), (0, 2)),
+        (TGate(), (2,)),
+        (CXGate(), (1, 2)),
+        (TdgGate(), (2,)),
+        (CXGate(), (0, 2)),
+        (TGate(), (1,)),
+        (TGate(), (2,)),
+        (HGate(), (2,)),
+        (CXGate(), (0, 1)),
+        (TGate(), (0,)),
+        (TdgGate(), (1,)),
+        (CXGate(), (0, 1)),
+    ]
+
+
+def _populate_standard_library() -> EquivalenceLibrary:
+    library = EquivalenceLibrary()
+    theta = Parameter("theta")
+    phi = Parameter("phi")
+    lam = Parameter("lam")
+
+    # Backend-facing definitions (the historic ``Gate.definition()`` bodies).
+    iswap_steps = [
+        (SGate(), (0,)),
+        (SGate(), (1,)),
+        (HGate(), (0,)),
+        (CXGate(), (0, 1)),
+        (CXGate(), (1, 0)),
+        (HGate(), (1,)),
+    ]
+    library.add_equivalence(
+        SwapGate(),
+        [(CXGate(), (0, 1)), (CXGate(), (1, 0)), (CXGate(), (0, 1))],
+        definition=True,
+    )
+    library.add_equivalence(iSwapGate(), iswap_steps, definition=True)
+    library.add_equivalence(
+        _InverseISwapGate(), _inverted(iswap_steps), definition=True
+    )
+    library.add_equivalence(
+        CSwapGate(),
+        [(CXGate(), (2, 1)), (CCXGate(), (0, 1, 2)), (CXGate(), (2, 1))],
+        definition=True,
+    )
+
+    # Translation rules toward the CX + single-qubit basis.
+    library.add_equivalence(CCXGate(), _toffoli_steps())
+    library.add_equivalence(
+        CCZGate(),
+        [(HGate(), (2,)), (CCXGate(), (0, 1, 2)), (HGate(), (2,))],
+    )
+
+    # Parameterized controlled families, registered once with formal angles.
+    # Qubit order is (control, target); ``X rz(a) X = rz(-a)`` telescopes the
+    # conditional rotations.
+    library.add_equivalence(
+        CRZGate(theta),
+        [
+            (RZGate(theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+            (RZGate(-theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+        ],
+    )
+    library.add_equivalence(
+        CRYGate(theta),
+        [
+            (RYGate(theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+            (RYGate(-theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+        ],
+    )
+    library.add_equivalence(
+        CRXGate(theta),
+        [
+            (HGate(), (1,)),
+            (RZGate(theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+            (RZGate(-theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+            (HGate(), (1,)),
+        ],
+    )
+    # cp is exact (no phase residue): diag(1, 1, 1, e^{i*theta}).
+    library.add_equivalence(
+        CPhaseGate(theta),
+        [
+            (PhaseGate(theta / 2), (0,)),
+            (PhaseGate(theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+            (PhaseGate(-theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+        ],
+    )
+    # cu: ABC decomposition with the base gate's U-convention phase
+    # (phi + lam)/2 emitted as a phase gate on the control.
+    library.add_equivalence(
+        CUGate(theta, phi, lam),
+        [
+            (RZGate((lam - phi) / 2), (1,)),
+            (CXGate(), (0, 1)),
+            (RZGate((phi + lam) * -0.5), (1,)),
+            (RYGate(-theta / 2), (1,)),
+            (CXGate(), (0, 1)),
+            (RYGate(theta / 2), (1,)),
+            (RZGate(phi), (1,)),
+            (PhaseGate((phi + lam) / 2), (0,)),
+        ],
+    )
+    return library
+
+
+#: The shared standard library all three layers resolve through.
+StandardEquivalenceLibrary = _populate_standard_library()

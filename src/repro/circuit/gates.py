@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.circuit.parameter import ParameterExpression, is_symbolic
 from repro.exceptions import CircuitError
 
 __all__ = [
@@ -73,6 +74,34 @@ __all__ = [
 ]
 
 
+def _coerce_parameter(value):
+    """Parameter coercion: floats stay floats, symbolic expressions pass.
+
+    An expression with at least one free parameter is kept as-is (the gate
+    becomes a *template*, instantiated by :meth:`Operation.bind_parameters`);
+    everything else — including a fully-bound expression — collapses to
+    ``float`` so concrete gates behave exactly as before.
+    """
+    if is_symbolic(value):
+        return value
+    return float(value)
+
+
+def _params_equal(a, b) -> bool:
+    if isinstance(a, ParameterExpression) or isinstance(b, ParameterExpression):
+        return bool(a == b)
+    return abs(a - b) < 1e-12
+
+
+def _bind_argument(value, mapping):
+    if isinstance(value, ParameterExpression):
+        bound = value.bind(mapping)
+        return _coerce_parameter(bound)
+    if isinstance(value, Operation):
+        return value.bind_parameters(mapping)
+    return value
+
+
 class Operation:
     """Base class for anything that can be appended to a circuit.
 
@@ -83,7 +112,10 @@ class Operation:
     num_qubits / num_clbits:
         Number of quantum / classical operands.
     params:
-        Tuple of real parameters (rotation angles, phases).
+        Tuple of real parameters (rotation angles, phases).  Entries may
+        also be symbolic :class:`~repro.circuit.parameter.ParameterExpression`
+        values — such a gate is a template (no matrix) until
+        :meth:`bind_parameters` substitutes concrete angles.
     """
 
     def __init__(
@@ -96,7 +128,7 @@ class Operation:
         self.name = name
         self.num_qubits = num_qubits
         self.num_clbits = num_clbits
-        self.params = tuple(float(p) for p in params)
+        self.params = tuple(_coerce_parameter(p) for p in params)
 
     @property
     def is_unitary(self) -> bool:
@@ -105,7 +137,10 @@ class Operation:
 
     def __repr__(self) -> str:
         if self.params:
-            args = ", ".join(f"{p:.6g}" for p in self.params)
+            args = ", ".join(
+                str(p) if isinstance(p, ParameterExpression) else f"{p:.6g}"
+                for p in self.params
+            )
             return f"{type(self).__name__}({args})"
         return f"{type(self).__name__}()"
 
@@ -117,8 +152,27 @@ class Operation:
             and self.num_qubits == other.num_qubits
             and self.num_clbits == other.num_clbits
             and len(self.params) == len(other.params)
-            and all(abs(a - b) < 1e-12 for a, b in zip(self.params, other.params))
+            and all(_params_equal(a, b) for a, b in zip(self.params, other.params))
         )
+
+    @property
+    def free_parameters(self) -> frozenset:
+        """The symbolic parameters this operation still depends on."""
+        names: set = set()
+        for value in self.params:
+            if isinstance(value, ParameterExpression):
+                names |= value.parameters
+        return frozenset(names)
+
+    def bind_parameters(self, mapping) -> "Operation":
+        """Substitute parameter values, returning a new concrete operation.
+
+        Reconstructs the operation through its constructor (the same route
+        pickling takes), so binding re-runs full validation and works for
+        nested structures such as a :class:`ControlledGate`'s base gate.
+        """
+        cls, args = self.__reduce__()[:2]
+        return cls(*(_bind_argument(value, mapping) for value in args))
 
     def __hash__(self) -> int:
         return hash((self.name, self.num_qubits, self.num_clbits, self.params))
@@ -172,10 +226,16 @@ class Gate(Operation):
     def definition(self) -> list[tuple["Gate", tuple[int, ...]]] | None:
         """Decomposition into more primitive gates on local qubit indices.
 
-        Returns ``None`` for gates that every backend supports natively
-        (single-qubit gates and controlled single-qubit gates).
+        Resolved through the single
+        :data:`~repro.circuit.equivalence_library.StandardEquivalenceLibrary`
+        (imported lazily — the library is populated from gate templates
+        defined in this module).  Returns ``None`` for gates that every
+        backend supports natively (single-qubit gates and controlled
+        single-qubit gates).
         """
-        return None
+        from repro.circuit.equivalence_library import StandardEquivalenceLibrary
+
+        return StandardEquivalenceLibrary.definition_steps(self)
 
     def power(self, exponent: int) -> list["Gate"]:
         """Return a list of gates realizing ``self`` applied ``exponent`` times.
@@ -548,23 +608,13 @@ class ControlledGate(Gate):
 
         ``C(U_k ... U_1) = C(U_k) ... C(U_1)``: controlling a product is the
         product of the controlled factors, for any control count and state.
-        Backends handle controlled *single-qubit* gates natively, so those
-        (and controlled gates whose base has no definition) return ``None``;
-        a controlled SWAP and friends decompose into doubly-controlled
-        single-qubit gates the backends accept directly.
+        Resolved through the
+        :data:`~repro.circuit.equivalence_library.StandardEquivalenceLibrary`
+        so deferral, compilation and backends all share one factoring rule.
         """
-        if self.base_gate.num_qubits <= 1:
-            return None
-        base_definition = self.base_gate.definition()
-        if base_definition is None:
-            return None
-        nc = self.num_ctrl_qubits
-        controls = tuple(range(nc))
-        steps: list[tuple[Gate, tuple[int, ...]]] = []
-        for gate, qubits in base_definition:
-            mapped = tuple(nc + q for q in qubits)
-            steps.append((gate.control(nc, self.ctrl_state), controls + mapped))
-        return steps
+        from repro.circuit.equivalence_library import StandardEquivalenceLibrary
+
+        return StandardEquivalenceLibrary.controlled_factoring(self)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ControlledGate):
@@ -746,9 +796,6 @@ class SwapGate(Gate):
     def inverse(self) -> "SwapGate":
         return SwapGate()
 
-    def definition(self) -> list[tuple[Gate, tuple[int, ...]]]:
-        return [(CXGate(), (0, 1)), (CXGate(), (1, 0)), (CXGate(), (0, 1))]
-
 
 class iSwapGate(Gate):  # noqa: N801 - conventional gate name
     """iSWAP gate."""
@@ -766,16 +813,6 @@ class iSwapGate(Gate):  # noqa: N801 - conventional gate name
         # iSWAP^-1 = S^-1 x S^-1 . SWAP . CZ  (realized via its own definition)
         return _InverseISwapGate()
 
-    def definition(self) -> list[tuple[Gate, tuple[int, ...]]]:
-        return [
-            (SGate(), (0,)),
-            (SGate(), (1,)),
-            (HGate(), (0,)),
-            (CXGate(), (0, 1)),
-            (CXGate(), (1, 0)),
-            (HGate(), (1,)),
-        ]
-
 
 class _InverseISwapGate(Gate):
     """Adjoint of the iSWAP gate (internal helper)."""
@@ -789,10 +826,6 @@ class _InverseISwapGate(Gate):
 
     def inverse(self) -> iSwapGate:
         return iSwapGate()
-
-    def definition(self) -> list[tuple[Gate, tuple[int, ...]]]:
-        forward = iSwapGate().definition()
-        return [(gate.inverse(), qubits) for gate, qubits in reversed(forward)]
 
 
 class CSwapGate(Gate):
@@ -820,9 +853,6 @@ class CSwapGate(Gate):
 
     def inverse(self) -> "CSwapGate":
         return CSwapGate()
-
-    def definition(self) -> list[tuple[Gate, tuple[int, ...]]]:
-        return [(CXGate(), (2, 1)), (CCXGate(), (0, 1, 2)), (CXGate(), (2, 1))]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,264 @@
+"""Minimal symbolic parameters for gate families.
+
+Decomposition rules for parameterized gate families (``rz``, ``ry``, ``u``,
+``p`` and their controlled forms) must be registered *once* in the
+equivalence library and instantiated per concrete gate by substitution.  The
+library's rules only ever need linear combinations of the formal angles —
+``theta/2``, ``-(phi + lam)/2``, ``lam - phi`` — so a full symbolic algebra
+system is unnecessary: a :class:`ParameterExpression` is a linear form
+
+    ``sum(coefficient * parameter) + constant``
+
+closed under addition, subtraction, negation and scalar multiplication /
+division.  Anything beyond that (multiplying two expressions, transcendental
+functions) raises ``TypeError`` — by design, not omission.
+
+Identity is *by name*: two ``Parameter("theta")`` objects are the same
+formal parameter.  This is what makes binding survive serialization — a
+parameter that round-trips through pickle or QASM text reconstructs to an
+object that still matches the keys callers bind with.
+
+Example
+-------
+>>> theta, phi = Parameter("theta"), Parameter("phi")
+>>> expr = theta / 2 - phi
+>>> sorted(p.name for p in expr.parameters)
+['phi', 'theta']
+>>> expr.bind({"theta": 1.0, "phi": 0.25})
+0.25
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = ["Parameter", "ParameterExpression"]
+
+_SCALARS = (int, float)
+
+
+def _rebuild_expression(terms, constant):
+    """Pickle helper: rebuild an expression from ``((name, coeff), ...)``."""
+    expression = ParameterExpression.__new__(ParameterExpression)
+    expression._terms = tuple((Parameter(name), float(coeff)) for name, coeff in terms)
+    expression._constant = float(constant)
+    return expression
+
+
+class ParameterExpression:
+    """A linear combination of formal parameters plus a float constant.
+
+    Instances are immutable.  Arithmetic that eliminates every free
+    parameter returns a plain ``float``, so fully-bound values flow through
+    gate constructors unchanged.
+    """
+
+    __slots__ = ("_terms", "_constant")
+
+    def __init__(self, terms=(), constant=0.0):
+        collected: dict[str, tuple[Parameter, float]] = {}
+        for parameter, coefficient in terms:
+            coefficient = float(coefficient)
+            if parameter.name in collected:
+                previous, existing = collected[parameter.name]
+                coefficient += existing
+                parameter = previous
+            collected[parameter.name] = (parameter, coefficient)
+        self._terms = tuple(
+            (parameter, coefficient)
+            for parameter, coefficient in (
+                collected[name] for name in sorted(collected)
+            )
+            if coefficient != 0.0
+        )
+        self._constant = float(constant)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        """The free parameters of this expression."""
+        return frozenset(parameter for parameter, _ in self._terms)
+
+    def bind(self, mapping: Mapping) -> "ParameterExpression | float":
+        """Substitute values (or expressions) for parameters.
+
+        ``mapping`` keys may be :class:`Parameter` objects or their names.
+        Returns a plain ``float`` once no free parameters remain.
+        """
+        values: dict[str, object] = {}
+        for key, value in mapping.items():
+            name = key.name if isinstance(key, Parameter) else str(key)
+            values[name] = value
+        result: ParameterExpression | float = self._constant
+        for parameter, coefficient in self._terms:
+            if parameter.name in values:
+                result = result + coefficient * values[parameter.name]
+            else:
+                result = result + ParameterExpression(((parameter, coefficient),))
+        return result
+
+    # -- arithmetic ----------------------------------------------------
+
+    def _reduced(self) -> "ParameterExpression | float":
+        if not self._terms:
+            return self._constant
+        return self
+
+    def __add__(self, other):
+        if isinstance(other, ParameterExpression):
+            return ParameterExpression(
+                self._terms + other._terms, self._constant + other._constant
+            )._reduced()
+        if isinstance(other, _SCALARS):
+            return ParameterExpression(
+                self._terms, self._constant + float(other)
+            )._reduced()
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if isinstance(other, (ParameterExpression, *_SCALARS)):
+            return self + (-other)
+        return NotImplemented
+
+    def __rsub__(self, other):
+        if isinstance(other, _SCALARS):
+            return (-self) + other
+        return NotImplemented
+
+    def __neg__(self):
+        return ParameterExpression(
+            tuple((parameter, -coefficient) for parameter, coefficient in self._terms),
+            -self._constant,
+        )._reduced()
+
+    def __mul__(self, other):
+        if isinstance(other, _SCALARS):
+            factor = float(other)
+            if factor == 0.0:
+                return 0.0
+            return ParameterExpression(
+                tuple(
+                    (parameter, coefficient * factor)
+                    for parameter, coefficient in self._terms
+                ),
+                self._constant * factor,
+            )._reduced()
+        if isinstance(other, ParameterExpression):
+            raise TypeError(
+                "products of parameter expressions are not supported; "
+                "library rules only need linear forms"
+            )
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, _SCALARS):
+            return self * (1.0 / float(other))
+        return NotImplemented
+
+    # -- protocol ------------------------------------------------------
+
+    def __float__(self) -> float:
+        if self._terms:
+            names = ", ".join(sorted(p.name for p in self.parameters))
+            raise TypeError(
+                f"cannot convert expression with free parameter(s) {names} to float"
+            )
+        return self._constant
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ParameterExpression):
+            return (
+                tuple((p.name, c) for p, c in self._terms)
+                == tuple((p.name, c) for p, c in other._terms)
+                and self._constant == other._constant
+            )
+        if isinstance(other, _SCALARS):
+            return not self._terms and self._constant == float(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                "ParameterExpression",
+                tuple((p.name, c) for p, c in self._terms),
+                self._constant,
+            )
+        )
+
+    def __str__(self) -> str:
+        # Eval-able form (see qasm._eval_param): "0.5*theta + -1.0*phi + 0.25".
+        pieces = [
+            f"{coefficient!r}*{parameter.name}"
+            for parameter, coefficient in self._terms
+        ]
+        if self._constant != 0.0 or not pieces:
+            pieces.append(repr(self._constant))
+        return " + ".join(pieces)
+
+    def __repr__(self) -> str:
+        return f"ParameterExpression({self})"
+
+    def __reduce__(self):
+        return (
+            _rebuild_expression,
+            (
+                tuple((p.name, c) for p, c in self._terms),
+                self._constant,
+            ),
+        )
+
+
+class Parameter(ParameterExpression):
+    """A named formal parameter (the expression ``1.0 * self``)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"parameter name must be a non-empty string, got {name!r}")
+        self._name = name
+        super().__init__(((self, 1.0),))
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __str__(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self._name!r})"
+
+    def __reduce__(self):
+        return (Parameter, (self._name,))
+
+
+def bind_value(value, mapping: Mapping):
+    """Bind ``value`` if it is a parameter expression; pass through otherwise."""
+    if isinstance(value, ParameterExpression):
+        bound = value.bind(mapping)
+        if isinstance(bound, ParameterExpression) and not bound.parameters:
+            return float(bound)
+        return bound
+    return value
+
+
+def is_symbolic(value) -> bool:
+    """Whether ``value`` is an expression with at least one free parameter."""
+    return isinstance(value, ParameterExpression) and bool(value.parameters)
+
+
+def evaluate_if_bound(value):
+    """Collapse a fully-bound expression to a float; pass anything else through."""
+    if isinstance(value, ParameterExpression) and not value.parameters:
+        return float(value)
+    return value
+
+
+# Re-exported for callers that need the helpers without the classes.
+__all__ += ["bind_value", "evaluate_if_bound", "is_symbolic"]

@@ -53,8 +53,17 @@ _EXPORTABLE_NAMES = {
 }
 
 
-def _format_param(value: float) -> str:
-    """Format an angle, preferring exact multiples of pi for readability."""
+def _format_param(value) -> str:
+    """Format an angle, preferring exact multiples of pi for readability.
+
+    Symbolic :class:`~repro.circuit.parameter.ParameterExpression` values are
+    emitted as their evaluable text form (``1.0*theta + 0.5``), which
+    :func:`_eval_param` parses back into the identical expression.
+    """
+    from repro.circuit.parameter import ParameterExpression
+
+    if isinstance(value, ParameterExpression):
+        return str(value)
     if value == 0:
         return "0"
     for denominator in (1, 2, 3, 4, 6, 8, 16, 32):
@@ -185,13 +194,30 @@ _GATE = re.compile(r"^([A-Za-z_]\w*)\s*(\(([^)]*)\))?\s+(.*)$")
 _OPERAND = re.compile(r"^([A-Za-z_]\w*)\s*\[\s*(\d+)\s*\]$")
 
 
-def _eval_param(text: str) -> float:
-    """Evaluate a parameter expression (numbers, ``pi``, + - * /, parentheses)."""
-    cleaned = text.strip().replace("pi", repr(math.pi))
-    if not re.fullmatch(r"[0-9eE+\-*/(). ]*", cleaned):
+def _eval_param(text: str):
+    """Evaluate a parameter expression (numbers, ``pi``, + - * /, parentheses).
+
+    Free identifiers other than ``pi`` become symbolic
+    :class:`~repro.circuit.parameter.Parameter` objects, so parameterized
+    QASM (as emitted by :func:`_format_param` for symbolic angles) round-trips
+    into the identical :class:`ParameterExpression`.
+    """
+    stripped = text.strip()
+    if not re.fullmatch(r"[\w+\-*/(). ]*", stripped):
         raise QasmError(f"unsupported parameter expression {text!r}")
+    if re.search(r"\.\s*[A-Za-z_]", stripped):
+        # Attribute access would escape the sandboxed eval below.
+        raise QasmError(f"unsupported parameter expression {text!r}")
+    names = set(re.findall(r"(?<![\w.])[A-Za-z_]\w*", stripped))
+    names.discard("pi")
+    env: dict[str, object] = {"pi": math.pi}
+    if names:
+        from repro.circuit.parameter import Parameter
+
+        env.update({name: Parameter(name) for name in names})
     try:
-        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307 - sanitized
+        value = eval(stripped, {"__builtins__": {}}, env)  # noqa: S307 - sanitized
+        return value if names else float(value)
     except Exception as exc:  # pragma: no cover - defensive
         raise QasmError(f"cannot evaluate parameter expression {text!r}") from exc
 

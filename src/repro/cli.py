@@ -129,6 +129,31 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--checker-timeout", type=float, default=None, help="per-checker budget in seconds"
     )
+    verify.add_argument(
+        "--canonicalize",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "consult the translation-level-invariant canonical fingerprint on "
+            "verdict-cache lookups so verdicts are shared across translation "
+            "levels (default: on; --no-canonicalize restricts the cache to "
+            "raw structural fingerprints)"
+        ),
+    )
+    verify.add_argument(
+        "--verdict-cache",
+        action="store_true",
+        help="consult the verdict cache before scheduling checkers",
+    )
+    verify.add_argument(
+        "--cache-path",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent JSON-lines tier of the verdict cache (implies "
+            "--verdict-cache; verdicts survive across invocations)"
+        ),
+    )
     verify.add_argument("--json", action="store_true", help="print the result as JSON")
 
     batch = subparsers.add_parser(
@@ -217,6 +242,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "persistent JSON-lines tier of the verdict cache (implies "
             "--verdict-cache; verdicts survive across invocations)"
+        ),
+    )
+    batch.add_argument(
+        "--canonicalize",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "consult the translation-level-invariant canonical fingerprint on "
+            "verdict-cache lookups (default: on; see 'verify --canonicalize')"
         ),
     )
     batch.add_argument("--json", action="store_true")
@@ -401,7 +435,15 @@ def _command_verify(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         timeout=args.timeout,
         checker_timeout=args.checker_timeout,
+        verdict_cache=args.verdict_cache,
+        cache_path=args.cache_path,
+        canonicalize=True if args.canonicalize is None else args.canonicalize,
     )
+    if configuration.cache_enabled:
+        # Cache consultation happens in the manager; route through it.
+        if args.portfolio is None and args.method != "alternating":
+            configuration = configuration.updated(portfolio=(args.method,))
+        return _verify_with_portfolio(first, second, configuration, args)
     if args.portfolio is not None or args.scheduler != "static":
         # An explicit portfolio, or any non-static scheduling policy, runs
         # through the manager.  Without --portfolio the scheduler orders the
@@ -451,6 +493,8 @@ def _verify_with_portfolio(first, second, configuration: Configuration, args) ->
             f"  scheduler={result.scheduler} schedule={','.join(result.schedule)} "
             f"decided_by={result.decided_by}"
         )
+        if result.cached:
+            print(f"  served from cache (via {result.cached_via})")
         print(f"  {result.reason}")
         for attempt in result.attempts:
             verdict = attempt.result.criterion.value if attempt.result else "-"
@@ -498,6 +542,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         gate_cache_size=args.gate_cache_size,
         verdict_cache=args.verdict_cache,
         cache_path=args.cache_path,
+        canonicalize=True if args.canonicalize is None else args.canonicalize,
     )
     manager = EquivalenceCheckingManager(configuration)
     batch = manager.verify_batch(circuits)
@@ -534,6 +579,7 @@ def _command_batch(args: argparse.Namespace) -> int:
                 "scheduler": entry.result.scheduler if entry.result else None,
                 "schedule": entry.result.schedule if entry.result else None,
                 "cached": entry.result.cached if entry.result else None,
+                "cached_via": entry.result.cached_via if entry.result else None,
                 "checkers": (
                     [attempt.to_json() for attempt in entry.result.attempts]
                     if entry.result

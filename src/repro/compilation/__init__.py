@@ -11,6 +11,12 @@ from repro.compilation.basis import (
     rewrite_single_qubit_to_u,
     zyz_decomposition,
 )
+from repro.compilation.canonical import (
+    CANONICAL_ANGLE_GRID,
+    canonical_angle,
+    canonicalize,
+    canonicalize_with_statistics,
+)
 from repro.compilation.compiler import CompilationResult, compile_circuit
 from repro.compilation.coupling import CouplingMap, ibmq_london, linear_coupling, ring_coupling
 from repro.compilation.optimize import (
@@ -22,10 +28,14 @@ from repro.compilation.optimize import (
 from repro.compilation.routing import RoutingResult, pad_circuit, route_circuit
 
 __all__ = [
+    "CANONICAL_ANGLE_GRID",
     "CompilationResult",
     "CouplingMap",
     "RoutingResult",
     "cancel_inverse_pairs",
+    "canonical_angle",
+    "canonicalize",
+    "canonicalize_with_statistics",
     "compile_circuit",
     "decompose_to_cx_and_single_qubit",
     "ibmq_london",

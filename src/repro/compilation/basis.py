@@ -23,23 +23,16 @@ import math
 import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.equivalence_library import StandardEquivalenceLibrary
 from repro.circuit.gates import (
-    CCXGate,
-    CCZGate,
     ControlledGate,
-    CSwapGate,
     CXGate,
     Gate,
     GlobalPhaseGate,
-    HGate,
     PhaseGate,
     RYGate,
     RZGate,
-    SwapGate,
-    TdgGate,
-    TGate,
     UGate,
-    iSwapGate,
 )
 from repro.circuit.operations import Instruction
 from repro.exceptions import CompilationError
@@ -141,52 +134,34 @@ def _controlled_single_qubit_decomposition(
     return instructions
 
 
-def _toffoli_decomposition(qubits: tuple[int, ...]) -> list[Instruction]:
-    """Standard 6-CNOT Toffoli decomposition (controls ``a``, ``b``, target ``c``)."""
-    a, b, c = qubits
-    return [
-        Instruction(HGate(), (c,)),
-        Instruction(CXGate(), (b, c)),
-        Instruction(TdgGate(), (c,)),
-        Instruction(CXGate(), (a, c)),
-        Instruction(TGate(), (c,)),
-        Instruction(CXGate(), (b, c)),
-        Instruction(TdgGate(), (c,)),
-        Instruction(CXGate(), (a, c)),
-        Instruction(TGate(), (b,)),
-        Instruction(TGate(), (c,)),
-        Instruction(HGate(), (c,)),
-        Instruction(CXGate(), (a, b)),
-        Instruction(TGate(), (a,)),
-        Instruction(TdgGate(), (b,)),
-        Instruction(CXGate(), (a, b)),
-    ]
-
-
 def _decompose_instruction(instruction: Instruction) -> list[Instruction]:
-    """Rewrite one instruction into CX + single-qubit gates (no conditions touched)."""
+    """Rewrite one instruction into CX + single-qubit gates (no conditions touched).
+
+    All structural rewrites resolve through the
+    :data:`~repro.circuit.equivalence_library.StandardEquivalenceLibrary`
+    (named rules, negative-control normalization, controlled-composite
+    factoring); the numeric ZYZ/ABC decomposition remains the fallback for
+    singly-controlled single-qubit gates without a named rule (``ch``,
+    ``cy``, ``cz``, arbitrary controlled unitaries).
+    """
     gate = instruction.operation
     qubits = instruction.qubits
     if not isinstance(gate, Gate) or gate.num_qubits <= 1:
         return [instruction]
     if isinstance(gate, CXGate) and gate.ctrl_state == 1:
         return [instruction]
-    if isinstance(gate, (SwapGate, iSwapGate, CSwapGate)):
+    steps = StandardEquivalenceLibrary.translation_steps(gate)
+    if steps is not None:
         expanded: list[Instruction] = []
-        for sub_gate, local in gate.definition():
+        for sub_gate, local in steps:
             mapped = tuple(qubits[index] for index in local)
             expanded.extend(_decompose_instruction(Instruction(sub_gate, mapped)))
         return expanded
-    if isinstance(gate, CCXGate) and gate.ctrl_state == 3:
-        return _toffoli_decomposition(qubits)
-    if isinstance(gate, CCZGate) and gate.ctrl_state == 3:
-        target = qubits[2]
-        return (
-            [Instruction(HGate(), (target,))]
-            + _toffoli_decomposition(qubits)
-            + [Instruction(HGate(), (target,))]
-        )
-    if isinstance(gate, ControlledGate) and gate.num_ctrl_qubits == 1 and gate.base_gate.num_qubits == 1:
+    if (
+        isinstance(gate, ControlledGate)
+        and gate.num_ctrl_qubits == 1
+        and gate.base_gate.num_qubits == 1
+    ):
         return _controlled_single_qubit_decomposition(gate, qubits)
     raise CompilationError(
         f"no CX + single-qubit decomposition implemented for gate {gate.name!r}"

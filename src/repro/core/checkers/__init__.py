@@ -29,6 +29,7 @@ from repro.core.checkers.base import (
 )
 from repro.core.checkers.construction import ConstructionChecker
 from repro.core.checkers.distribution import DistributionChecker
+from repro.core.checkers.rewrite import RewriteChecker
 from repro.core.checkers.simulation import SimulationChecker
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "CheckerOutcome",
     "ConstructionChecker",
     "DistributionChecker",
+    "RewriteChecker",
     "SimulationChecker",
     "available_checkers",
     "is_registered",

@@ -137,6 +137,16 @@ class Configuration:
     cache_size:
         LRU bound of the verdict cache's in-memory tier (``None`` keeps it
         unbounded).
+    canonicalize:
+        Whether cache lookups additionally consult a *canonicalized*
+        fingerprint (circuits library-translated to the CX + single-qubit
+        basis with merged single-qubit runs; see
+        :mod:`repro.compilation.canonical`) so verdicts are shared across
+        translation levels of the same logical pair.  Verdict-preserving:
+        it only changes which cache entries a pair can hit, never what a
+        fresh run decides — so it is deliberately *not* part of the
+        fingerprinted configuration fields.  Automatically bypassed when
+        the tolerance out-resolves the canonical angle grid.
     """
 
     method: str = "alternating"
@@ -161,6 +171,7 @@ class Configuration:
     verdict_cache: bool = False
     cache_path: str | None = None
     cache_size: int | None = 1024
+    canonicalize: bool = True
 
     def __post_init__(self) -> None:
         known_checkers = _registered_checkers()
@@ -223,6 +234,10 @@ class Configuration:
             raise ConfigurationError("dense_cutoff must be non-negative (0 disables)")
         if self.cache_size is not None and self.cache_size < 1:
             raise ConfigurationError("cache_size must be at least 1 (or None)")
+        if not isinstance(self.canonicalize, bool):
+            raise ConfigurationError(
+                f"canonicalize must be a bool, got {self.canonicalize!r}"
+            )
 
     @property
     def cache_enabled(self) -> bool:

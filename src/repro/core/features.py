@@ -107,7 +107,10 @@ class CircuitFeatures:
 def _signature(instruction) -> tuple:
     """Positional fingerprint of one instruction for similarity comparison."""
     operation = instruction.operation
-    params = tuple(round(p, 9) for p in getattr(operation, "params", ()))
+    params = tuple(
+        round(p, 9) if isinstance(p, (int, float)) else str(p)
+        for p in getattr(operation, "params", ())
+    )
     condition = instruction.condition
     condition_key = (
         (condition.clbits, condition.bit_values) if condition is not None else None
@@ -220,6 +223,17 @@ class PairFeatures:
     def gate_diversity(self) -> float:
         return max(self.first.gate_diversity, self.second.gate_diversity)
 
+    @property
+    def gate_sets_match(self) -> bool:
+        """Whether both circuits use the same set of gate names.
+
+        False is the signature of a *translated* pair (same logic, different
+        basis) — exactly the workload the library-driven ``rewrite`` checker
+        reduces to identity cheaply, so the adaptive scheduler front-loads it
+        when this is False.
+        """
+        return self.first.gate_types == self.second.gate_types
+
     def to_dict(self) -> dict:
         return {
             "first": self.first.to_dict(),
@@ -230,6 +244,7 @@ class PairFeatures:
             "clbit_counts_match": self.clbit_counts_match,
             "any_dynamic": self.any_dynamic,
             "needs_scheme_two": self.needs_scheme_two,
+            "gate_sets_match": self.gate_sets_match,
         }
 
 

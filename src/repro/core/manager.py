@@ -196,11 +196,24 @@ class EquivalenceCheckingManager:
             fingerprint = None
         elif self.verdict_cache is not None and fingerprint is None:
             fingerprint = self._pair_fingerprint(first, second)
+        canonical_fingerprint: str | None = None
         if self.verdict_cache is not None and fingerprint is not None:
             cached = self.verdict_cache.get(fingerprint)
             if cached is not None:
                 self._count_run("cache_hit")
-                return cached
+                return replace(cached, cached_via="fingerprint")
+            # Second tier: the translation-level-invariant canonical key.  A
+            # hit means this pair was verified before at *another* translation
+            # level; the verdict fans out to the raw key so future lookups of
+            # this exact representation hit directly.
+            canonical_fingerprint = self._canonical_pair_fingerprint(first, second)
+            if canonical_fingerprint is not None:
+                cached = self.verdict_cache.get(canonical_fingerprint)
+                if cached is not None:
+                    self._count_run("canonical_cache_hit")
+                    result = replace(cached, cached_via="canonical_fingerprint")
+                    self.verdict_cache.put(fingerprint, result)
+                    return result
         self._count_run("executed")
         result = self._run_uncached(
             first, second, qubit_permutation=qubit_permutation, schedule=schedule
@@ -211,6 +224,8 @@ class EquivalenceCheckingManager:
             and self._cacheable(result)
         ):
             self.verdict_cache.put(fingerprint, result)
+            if canonical_fingerprint is not None:
+                self.verdict_cache.put(canonical_fingerprint, result)
         return result
 
     def _cacheable(self, result: PortfolioResult) -> bool:
@@ -250,6 +265,29 @@ class EquivalenceCheckingManager:
             return pair_fingerprint(first, second, self.configuration)
         except Exception:  # noqa: BLE001 - cache bypass, never a failure
             return None
+
+    def _canonical_pair_fingerprint(
+        self, first: QuantumCircuit, second: QuantumCircuit
+    ) -> str | None:
+        """The pair's translation-level-invariant cache key, or None.
+
+        Gated by ``Configuration.canonicalize`` and by the soundness check of
+        :func:`~repro.service.fingerprint.canonical_pair_fingerprint` (which
+        itself returns None for tolerances that out-resolve the canonical
+        angle grid or for circuits that cannot be canonicalized).
+        """
+        if not self.configuration.canonicalize:
+            return None
+        from repro.service.fingerprint import canonical_pair_fingerprint
+
+        key = canonical_pair_fingerprint(first, second, self.configuration)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_canonical_fingerprints_total",
+                "Canonical (translation-level-invariant) fingerprint computations.",
+                labelnames=("status",),
+            ).inc(status="computed" if key is not None else "unavailable")
+        return key
 
     def _run_uncached(
         self,
@@ -458,6 +496,12 @@ class EquivalenceCheckingManager:
             publish_dd_statistics(
                 self.metrics, details["dd_statistics"], checker=attempt.method
             )
+        if isinstance(details, dict) and "rewrite_statistics" in details:
+            from repro.service.metrics import publish_rewrite_statistics
+
+            publish_rewrite_statistics(
+                self.metrics, details["rewrite_statistics"], checker=attempt.method
+            )
         return attempt
 
     # ------------------------------------------------------------------
@@ -526,15 +570,27 @@ class EquivalenceCheckingManager:
 
         entries: list[BatchEntry | None] = [None] * len(pairs)
         dispatch_indices: list[int] = []
+        canonical_fingerprints: dict[int, str | None] = {}
         for index in run_indices:
             fingerprint = fingerprints[index]
-            cached = (
-                self.verdict_cache.get(fingerprint) if fingerprint is not None else None
-            )
+            first, second = pairs[index]
+            cached = None
+            if fingerprint is not None:
+                cached = self.verdict_cache.get(fingerprint)
+                if cached is not None:
+                    cached = replace(cached, cached_via="fingerprint")
+                else:
+                    canonical = self._canonical_pair_fingerprint(first, second)
+                    canonical_fingerprints[index] = canonical
+                    if canonical is not None:
+                        cached = self.verdict_cache.get(canonical)
+                        if cached is not None:
+                            cached = replace(cached, cached_via="canonical_fingerprint")
+                            # Fan the cross-level verdict out to the raw key.
+                            self.verdict_cache.put(fingerprint, cached)
             if cached is None:
                 dispatch_indices.append(index)
                 continue
-            first, second = pairs[index]
             entries[index] = BatchEntry(
                 index=index,
                 name_first=getattr(first, "name", None) or f"first[{index}]",
@@ -564,6 +620,9 @@ class EquivalenceCheckingManager:
                 and self._cacheable(entry.result)
             ):
                 self.verdict_cache.put(fingerprint, entry.result)
+                canonical = canonical_fingerprints.get(position)
+                if canonical is not None:
+                    self.verdict_cache.put(canonical, entry.result)
 
         for index, fingerprint in enumerate(fingerprints):
             if entries[index] is not None:

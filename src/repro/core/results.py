@@ -182,6 +182,12 @@ class PortfolioResult:
         (:class:`~repro.service.cache.VerdictCache`) instead of running any
         checker.  Cached results carry the stored essentials only — attempt
         ``details`` payloads are not retained across the cache.
+    cached_via:
+        Provenance of a cache hit: ``"fingerprint"`` for a raw structural
+        match, ``"canonical_fingerprint"`` when the hit was found under the
+        translation-level-invariant canonical key (see
+        :func:`~repro.service.fingerprint.canonical_pair_fingerprint`).
+        ``None`` for uncached results.
     """
 
     criterion: EquivalenceCriterion
@@ -193,6 +199,7 @@ class PortfolioResult:
     scheduler: str = "static"
     features: dict | None = None
     cached: bool = False
+    cached_via: str | None = None
 
     @property
     def equivalent(self) -> bool:
@@ -217,6 +224,7 @@ class PortfolioResult:
             "scheduler": self.scheduler,
             "schedule": list(self.schedule),
             "cached": self.cached,
+            "cached_via": self.cached_via,
             "attempts": [attempt.to_json() for attempt in self.attempts],
             "total_time": self.total_time,
         }

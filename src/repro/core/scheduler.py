@@ -166,12 +166,16 @@ class AdaptiveScheduler(PortfolioScheduler):
        pair whose distributions are *not* comparable has no decidable path
        at all and keeps the configured lineup (failing exactly as static
        would).
-    2. *Near-identical builds* (structural similarity >= 0.98, matching
+    2. *Translated pairs* (gate-set signatures differ, qubit counts match,
+       ``rewrite`` in the portfolio): the library-driven peephole prover
+       front-loaded — a basis-translated pair reduces to identity in
+       O(gates) 2x2 arithmetic, long before any DD is built.
+    3. *Near-identical builds* (structural similarity >= 0.98, matching
        sizes): provers first — simulation cannot falsify a clone, and early
        termination skips it once a prover decides.
-    3. *Dissimilar pairs* (similarity < 0.5 or high gate diversity):
+    4. *Dissimilar pairs* (similarity < 0.5 or high gate diversity):
        falsifier first with a bounded share of the overall budget.
-    4. Otherwise: configured order.
+    5. Otherwise: configured order.
     """
 
     name: ClassVar[str] = "adaptive"
@@ -205,6 +209,24 @@ class AdaptiveScheduler(PortfolioScheduler):
                 rationale=(
                     "conditioned resets defeat Scheme-1 reconstruction; "
                     "scheme-2 checkers routed first"
+                ),
+                features=features,
+            )
+
+        if (
+            "rewrite" in portfolio
+            and not features.gate_sets_match
+            and features.qubit_counts_match
+        ):
+            rest = [name for name in portfolio if name != "rewrite"]
+            return Schedule(
+                checkers=tuple(
+                    ScheduledChecker(name) for name in ["rewrite", *rest]
+                ),
+                scheduler=self.name,
+                rationale=(
+                    "gate sets differ (translated pair): library-driven "
+                    "rewrite prover front-loaded"
                 ),
                 features=features,
             )

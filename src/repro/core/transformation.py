@@ -206,8 +206,7 @@ def defer_measurements(circuit: QuantumCircuit) -> tuple[QuantumCircuit, dict[in
             result.append_instruction(instruction)
             continue
 
-        converted = _classical_to_quantum_control(instruction, source)
-        if converted is not None:
+        for converted in _classical_to_quantum_control(instruction, source):
             result.append_instruction(converted)
 
     for clbit, qubit in sorted(source.items()):
@@ -217,11 +216,15 @@ def defer_measurements(circuit: QuantumCircuit) -> tuple[QuantumCircuit, dict[in
 
 def _classical_to_quantum_control(
     instruction: Instruction, source: dict[int, int]
-) -> Instruction | None:
-    """Convert one classically-controlled instruction into a quantum-controlled one.
+) -> list[Instruction]:
+    """Convert one classically-controlled instruction into quantum-controlled ones.
 
-    Returns ``None`` when the condition can never be satisfied (it requires a
-    classical bit that has not been written to be 1).
+    Returns an empty list when the condition can never be satisfied (it
+    requires a classical bit that has not been written to be 1).  A
+    controlled *composite* (multi-qubit base gate, e.g. the conditioned SWAP
+    emitted by :func:`substitute_resets`) is factored through the
+    :data:`~repro.circuit.equivalence_library.StandardEquivalenceLibrary`
+    into controlled single-qubit gates every backend accepts natively.
     """
     condition = instruction.condition
     assert condition is not None
@@ -240,11 +243,11 @@ def _classical_to_quantum_control(
         elif required == 1:
             # The classical bit is still 0 and the condition requires 1: the
             # operation is never executed.
-            return None
+            return []
         # required == 0 on an unwritten bit is trivially satisfied.
 
     if not control_qubits:
-        return Instruction(gate, instruction.qubits, instruction.clbits)
+        return [Instruction(gate, instruction.qubits, instruction.clbits)]
 
     conflict = set(control_qubits).intersection(instruction.qubits)
     if conflict:
@@ -261,7 +264,17 @@ def _classical_to_quantum_control(
     for position, value in enumerate(control_values):
         ctrl_state |= value << position
     controlled = gate.control(len(control_qubits), ctrl_state)
-    return Instruction(controlled, tuple(control_qubits) + instruction.qubits)
+    operands = tuple(control_qubits) + instruction.qubits
+    if controlled.base_gate.num_qubits > 1:
+        from repro.circuit.equivalence_library import StandardEquivalenceLibrary
+
+        factored = StandardEquivalenceLibrary.controlled_factoring(controlled)
+        if factored is not None:
+            return [
+                Instruction(sub_gate, tuple(operands[index] for index in local))
+                for sub_gate, local in factored
+            ]
+    return [Instruction(controlled, operands)]
 
 
 def to_unitary_circuit(circuit: QuantumCircuit) -> TransformationResult:

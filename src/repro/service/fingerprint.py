@@ -40,6 +40,8 @@ __all__ = [
     "VERDICT_CONFIGURATION_FIELDS",
     "canonical_circuit_form",
     "canonical_configuration_form",
+    "canonical_fingerprints_sound_for",
+    "canonical_pair_fingerprint",
     "circuit_fingerprint",
     "configuration_fingerprint",
     "pair_fingerprint",
@@ -68,6 +70,24 @@ def fingerprints_sound_for(configuration: "Configuration | None") -> bool:
     apart by the checkers.
     """
     return configuration is None or configuration.tolerance > CANONICAL_ANGLE_RESOLUTION
+
+
+def canonical_fingerprints_sound_for(configuration: "Configuration | None") -> bool:
+    """Whether *canonicalized* fingerprints are sound under this configuration.
+
+    The canonical form additionally quantizes merged-gate angles onto the
+    coarser :data:`~repro.compilation.canonical.CANONICAL_ANGLE_GRID`, so two
+    circuits within that grid share a canonical fingerprint.  That is only
+    safe when the tolerance out-resolves the grid; tighter tolerances must
+    fall back to raw fingerprints (handled by callers returning ``None``
+    from :func:`canonical_pair_fingerprint`).
+    """
+    from repro.compilation.canonical import CANONICAL_ANGLE_GRID
+
+    if not fingerprints_sound_for(configuration):
+        return False
+    return configuration is None or configuration.tolerance > CANONICAL_ANGLE_GRID
+
 
 #: Configuration fields that can influence the criterion of a portfolio run.
 #: ``portfolio`` is resolved to the effective lineup (``None`` selects the
@@ -180,6 +200,46 @@ def pair_fingerprint(
             "pair",
             canonical_circuit_form(first),
             canonical_circuit_form(second),
+            canonical_configuration_form(configuration),
+        )
+    )
+
+
+def canonical_pair_fingerprint(
+    first: "QuantumCircuit",
+    second: "QuantumCircuit",
+    configuration: "Configuration | None" = None,
+) -> str | None:
+    """Translation-level-invariant fingerprint of an ordered circuit pair.
+
+    Both circuits are :func:`~repro.compilation.canonical.canonicalize`\\ d
+    (library-translated to the CX + single-qubit basis, adjacent single-qubit
+    runs merged and quantized) before hashing, so the same logical pair
+    fingerprints identically at every translation level.  Keys are kept
+    distinct from :func:`pair_fingerprint` by a separate form tag — a raw
+    and a canonical entry for the same pair can coexist in the
+    :class:`~repro.service.cache.VerdictCache` without colliding.
+
+    Returns ``None`` — callers skip the canonical tier rather than failing —
+    when the configuration's tolerance out-resolves the canonical angle grid
+    or when a circuit cannot be canonicalized (e.g. a gate with no
+    translation to the base gate set).
+    """
+    if not canonical_fingerprints_sound_for(configuration):
+        return None
+    from repro.compilation.canonical import canonicalize
+
+    try:
+        canonical_first = canonicalize(first)
+        canonical_second = canonicalize(second)
+    except Exception:  # noqa: BLE001 - canonical tier is best-effort
+        return None
+    return _digest(
+        (
+            _FORM_VERSION,
+            "canonical-pair",
+            canonical_circuit_form(canonical_first),
+            canonical_circuit_form(canonical_second),
             canonical_configuration_form(configuration),
         )
     )

@@ -35,6 +35,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "publish_dd_statistics",
+    "publish_rewrite_statistics",
 ]
 
 #: Latency buckets (seconds) sized for equivalence-check workloads: cache
@@ -388,3 +389,45 @@ def publish_dd_statistics(
     for kind in ("vector_nodes", "matrix_nodes"):
         if kind in statistics:
             nodes.set(float(statistics[kind]), checker=checker, kind=kind)
+
+
+#: ``rewrite_statistics`` keys that accumulate as counters (events per run).
+_REWRITE_COUNTER_KEYS = (
+    "input_gates",
+    "merged_single_qubit",
+    "cancelled_cx",
+)
+
+
+def publish_rewrite_statistics(
+    registry: MetricsRegistry, statistics: dict, checker: str = "rewrite"
+) -> None:
+    """Accumulate one rewrite-checker statistics payload into ``registry``.
+
+    Harvested by the manager from the ``rewrite_statistics`` detail the
+    :class:`~repro.core.checkers.rewrite.RewriteChecker` leaves in its
+    outcome, mirroring how ``dd_statistics`` flows into the DD metrics.
+    """
+    counter = registry.counter(
+        "repro_rewrite_events_total",
+        "Peephole rewrite-checker events accumulated across runs.",
+        labelnames=("checker", "event"),
+    )
+    for key in _REWRITE_COUNTER_KEYS:
+        value = statistics.get(key)
+        if value:
+            counter.inc(float(value), checker=checker, event=key)
+    registry.counter(
+        "repro_rewrite_reductions_total",
+        "Rewrite-checker reduction outcomes (proved identity vs. residual).",
+        labelnames=("checker", "outcome"),
+    ).inc(
+        checker=checker,
+        outcome="proved" if statistics.get("proved") else "residual",
+    )
+    if "remaining" in statistics:
+        registry.gauge(
+            "repro_rewrite_last_run_remaining",
+            "Residual gates after the most recent rewrite reduction.",
+            labelnames=("checker",),
+        ).set(float(statistics["remaining"]), checker=checker)

@@ -50,7 +50,7 @@ from repro.core.configuration import Configuration
 from repro.core.manager import EquivalenceCheckingManager
 from repro.exceptions import ReproError, ServiceError
 from repro.service.fingerprint import fingerprints_sound_for, pair_fingerprint
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import _REWRITE_COUNTER_KEYS, MetricsRegistry
 
 __all__ = ["VerificationJob", "VerificationServer", "VerificationService"]
 
@@ -232,6 +232,31 @@ class VerificationService:
             cache_hit_ratio.set(float(stats["hit_ratio"]))
 
         registry.add_collector(_collect_cache)
+
+        # Pre-create the canonicalization and rewrite instruments (idempotent
+        # with the manager's and checker's own constructors) so both series
+        # appear on ``GET /metrics`` from the very first scrape, and so
+        # ``stats()`` can read them back without existence checks.
+        self._m_runs = registry.counter(
+            "repro_manager_runs_total",
+            "Pair checks by outcome (cache hit vs. executed portfolio run).",
+            labelnames=("outcome",),
+        )
+        self._m_canonical = registry.counter(
+            "repro_canonical_fingerprints_total",
+            "Canonical (translation-level-invariant) fingerprint computations.",
+            labelnames=("status",),
+        )
+        self._m_rewrite_reductions = registry.counter(
+            "repro_rewrite_reductions_total",
+            "Rewrite-checker reduction outcomes (proved identity vs. residual).",
+            labelnames=("checker", "outcome"),
+        )
+        self._m_rewrite_events = registry.counter(
+            "repro_rewrite_events_total",
+            "Peephole rewrite-checker events accumulated across runs.",
+            labelnames=("checker", "event"),
+        )
 
     # ------------------------------------------------------------------
     # job lifecycle
@@ -511,6 +536,36 @@ class VerificationService:
                 "pruned": len(self._pruned),
                 "jobs": by_status,
                 "cache": cache.statistics() if cache is not None else None,
+                "canonicalization": {
+                    "enabled": self.configuration.canonicalize,
+                    "cache_hits": int(
+                        self._m_runs.value(outcome="canonical_cache_hit")
+                    ),
+                    "fingerprints_computed": int(
+                        self._m_canonical.value(status="computed")
+                    ),
+                    "fingerprints_unavailable": int(
+                        self._m_canonical.value(status="unavailable")
+                    ),
+                },
+                "rewrite": {
+                    "proved": int(
+                        self._m_rewrite_reductions.value(
+                            checker="rewrite", outcome="proved"
+                        )
+                    ),
+                    "residual": int(
+                        self._m_rewrite_reductions.value(
+                            checker="rewrite", outcome="residual"
+                        )
+                    ),
+                    "events": {
+                        key: int(
+                            self._m_rewrite_events.value(checker="rewrite", event=key)
+                        )
+                        for key in _REWRITE_COUNTER_KEYS
+                    },
+                },
             }
 
     def shutdown(self, wait: bool = True) -> None:

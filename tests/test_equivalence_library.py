@@ -1,0 +1,178 @@
+"""Tests for the equivalence library: rules, lookup surfaces, layer unification."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.equivalence_library import (
+    EquivalenceLibrary,
+    StandardEquivalenceLibrary,
+)
+from repro.circuit.gates import (
+    CCXGate,
+    CCZGate,
+    ControlledGate,
+    CPhaseGate,
+    CRXGate,
+    CRYGate,
+    CRZGate,
+    CSwapGate,
+    CUGate,
+    CXGate,
+    HGate,
+    RZGate,
+    SwapGate,
+    XGate,
+    _InverseISwapGate,
+    iSwapGate,
+)
+from repro.circuit.parameter import Parameter
+from repro.compilation import decompose_to_cx_and_single_qubit
+from repro.core.transformation import to_unitary_circuit
+from repro.exceptions import CircuitError
+from repro.simulators import circuit_unitary, matrices_equal_up_to_global_phase
+
+
+def _steps_unitary(gate, steps):
+    """The unitary of a rule's defining sub-circuit on the gate's qubit count."""
+    circuit = QuantumCircuit(gate.num_qubits, name="steps")
+    for sub_gate, qubits in steps:
+        circuit.append(sub_gate, list(qubits))
+    return circuit_unitary(circuit)
+
+
+def _gate_unitary(gate):
+    circuit = QuantumCircuit(gate.num_qubits, name="gate")
+    circuit.append(gate, list(range(gate.num_qubits)))
+    return circuit_unitary(circuit)
+
+
+#: Every concrete gate the standard library carries a rule for.
+LIBRARY_GATES = [
+    SwapGate(),
+    iSwapGate(),
+    _InverseISwapGate(),
+    CSwapGate(),
+    CCXGate(),
+    CCZGate(),
+    CRZGate(0.7),
+    CRYGate(-1.3),
+    CRXGate(2.1),
+    CPhaseGate(0.9),
+    CUGate(0.7, 0.3, -0.4),
+]
+
+
+class TestStandardRulesAreCorrect:
+    @pytest.mark.parametrize(
+        "gate", LIBRARY_GATES, ids=[g.name for g in LIBRARY_GATES]
+    )
+    def test_rule_reproduces_the_gate_unitary(self, gate):
+        steps = StandardEquivalenceLibrary.translation_steps(gate)
+        assert steps is not None, f"no rule for {gate.name}"
+        assert matrices_equal_up_to_global_phase(
+            _steps_unitary(gate, steps), _gate_unitary(gate)
+        )
+
+    def test_parameterized_family_is_registered_once(self):
+        # Two different angles instantiate the same rule to different steps.
+        small = StandardEquivalenceLibrary.translation_steps(CRZGate(0.4))
+        large = StandardEquivalenceLibrary.translation_steps(CRZGate(1.6))
+        assert [g.name for g, _ in small] == [g.name for g, _ in large]
+        assert small[0][0].params == (pytest.approx(0.2),)
+        assert large[0][0].params == (pytest.approx(0.8),)
+
+
+class TestLookupSurfaces:
+    def test_gate_definition_resolves_through_the_library(self):
+        for gate in (SwapGate(), iSwapGate(), _InverseISwapGate(), CSwapGate()):
+            definition = gate.definition()
+            assert definition == StandardEquivalenceLibrary.definition_steps(gate)
+            assert definition is not None
+
+    def test_translation_only_rules_are_not_definitions(self):
+        # ccx has a translation rule but no backend-facing definition: DD
+        # backends apply the Toffoli natively.
+        assert CCXGate().definition() is None
+        assert StandardEquivalenceLibrary.definition_steps(CCXGate()) is None
+        assert StandardEquivalenceLibrary.translation_steps(CCXGate()) is not None
+
+    def test_controlled_factoring_of_a_composite_base(self):
+        controlled_swap = ControlledGate(SwapGate(), 1)
+        steps = StandardEquivalenceLibrary.controlled_factoring(controlled_swap)
+        assert steps is not None
+        assert matrices_equal_up_to_global_phase(
+            _steps_unitary(controlled_swap, steps), _gate_unitary(CSwapGate())
+        )
+
+    def test_controlled_single_qubit_base_is_left_to_the_backend(self):
+        assert (
+            StandardEquivalenceLibrary.controlled_factoring(ControlledGate(XGate(), 1))
+            is None
+        )
+
+    def test_negative_control_normalization(self):
+        negative = ControlledGate(SwapGate(), 1, ctrl_state=0)
+        steps = StandardEquivalenceLibrary.translation_steps(negative)
+        assert steps is not None
+        assert matrices_equal_up_to_global_phase(
+            _steps_unitary(negative, steps), _gate_unitary(negative)
+        )
+
+    def test_unknown_gate_returns_none(self):
+        assert StandardEquivalenceLibrary.translation_steps(HGate()) is None
+        assert StandardEquivalenceLibrary.has_entry(HGate()) is False
+
+
+class TestRegistrationValidation:
+    def test_template_params_must_be_parameters(self):
+        library = EquivalenceLibrary()
+        with pytest.raises(CircuitError):
+            library.add_equivalence(RZGate(0.5), [(RZGate(0.5), (0,))])
+
+    def test_steps_must_fit_the_template_arity(self):
+        library = EquivalenceLibrary()
+        with pytest.raises(CircuitError):
+            library.add_equivalence(SwapGate(), [(CXGate(), (0, 2))])
+
+    def test_custom_rule_binds_by_substitution(self):
+        library = EquivalenceLibrary()
+        theta = Parameter("theta")
+        library.add_equivalence(
+            RZGate(theta), [(RZGate(theta / 2), (0,)), (RZGate(theta / 2), (0,))]
+        )
+        steps = library.translation_steps(RZGate(1.0))
+        assert [g.params for g, _ in steps] == [(0.5,), (0.5,)]
+
+
+class TestLayerUnification:
+    """The three former decomposition tables all resolve through the library."""
+
+    def _mixed_circuit(self):
+        circuit = QuantumCircuit(3, name="mixed")
+        circuit.h(0)
+        circuit.append(SwapGate(), [0, 1])
+        circuit.append(CCXGate(), [0, 1, 2])
+        circuit.append(CRZGate(0.6), [1, 2])
+        circuit.append(iSwapGate(), [1, 2])
+        return circuit
+
+    def test_basis_translation_resolves_through_the_library(self):
+        circuit = self._mixed_circuit()
+        translated = decompose_to_cx_and_single_qubit(circuit)
+        for instruction in translated:
+            gate = instruction.operation
+            assert gate.num_qubits == 1 or gate.name in ("cx", "gphase")
+        assert matrices_equal_up_to_global_phase(
+            circuit_unitary(translated), circuit_unitary(circuit), tolerance=1e-9
+        )
+
+    def test_measurement_deferral_factors_controlled_composites(self):
+        # A circuit whose deferral produces a classically-controlled swap:
+        # the transformation layer must factor C(SWAP) through the library.
+        circuit = QuantumCircuit(3, 1, name="deferred")
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.append(SwapGate(), [1, 2], condition=(circuit.cregs[0], 1))
+        unitary_circuit = to_unitary_circuit(circuit)
+        for instruction in unitary_circuit.circuit:
+            assert instruction.condition is None

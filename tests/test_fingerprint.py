@@ -259,3 +259,47 @@ class TestPairAndConfigurationFingerprints:
         fingerprint = circuit_fingerprint(_bell())
         assert len(fingerprint) == 64
         assert set(fingerprint) <= set("0123456789abcdef")
+
+
+class TestCanonicalPairFingerprint:
+    """Translation-level invariance of the canonical (second-tier) cache key."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_invariant_under_translation_levels(self, seed):
+        from repro.circuit.random_circuits import random_static_circuit
+        from repro.compilation import (
+            decompose_to_cx_and_single_qubit,
+            rewrite_single_qubit_to_u,
+        )
+        from repro.service.fingerprint import canonical_pair_fingerprint
+
+        configuration = Configuration(seed=SEED)
+        original = random_static_circuit(3, 3, seed=seed)
+        level_one = decompose_to_cx_and_single_qubit(original)
+        level_two = rewrite_single_qubit_to_u(level_one)
+        base = canonical_pair_fingerprint(original, original, configuration)
+        assert base is not None
+        for level in (level_one, level_two):
+            assert (
+                canonical_pair_fingerprint(level, level, configuration) == base
+            ), f"canonical fingerprint drifted at seed {seed}"
+
+    def test_raw_and_canonical_keys_are_distinct(self):
+        from repro.service.fingerprint import canonical_pair_fingerprint
+
+        configuration = Configuration(seed=SEED)
+        first = _bell()
+        assert canonical_pair_fingerprint(
+            first, first, configuration
+        ) != pair_fingerprint(first, first, configuration)
+
+    def test_tight_tolerance_disables_the_canonical_key(self):
+        from repro.service.fingerprint import (
+            canonical_fingerprints_sound_for,
+            canonical_pair_fingerprint,
+        )
+
+        tight = Configuration(tolerance=1e-10)
+        assert canonical_fingerprints_sound_for(tight) is False
+        assert canonical_pair_fingerprint(_bell(), _bell(), tight) is None

@@ -1,0 +1,171 @@
+"""Tests for symbolic parameters: algebra, binding, pickle and QASM round-trips."""
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import CRZGate, RZGate, UGate
+from repro.circuit.parameter import (
+    Parameter,
+    ParameterExpression,
+    bind_value,
+    evaluate_if_bound,
+    is_symbolic,
+)
+from repro.circuit.qasm import circuit_from_qasm, circuit_to_qasm
+
+
+class TestAlgebra:
+    def test_linear_combinations(self):
+        theta, phi = Parameter("theta"), Parameter("phi")
+        expr = theta / 2 - phi + 0.25
+        assert sorted(p.name for p in expr.parameters) == ["phi", "theta"]
+        assert expr.bind({"theta": 1.0, "phi": 0.25}) == pytest.approx(0.5)
+
+    def test_identity_is_by_name(self):
+        assert Parameter("theta") == Parameter("theta")
+        assert hash(Parameter("a") + 1.0) == hash(Parameter("a") + 1.0)
+        assert Parameter("a") != Parameter("b")
+
+    def test_full_binding_collapses_to_float(self):
+        theta = Parameter("theta")
+        bound = (2 * theta + 1.0).bind({theta: 0.5})
+        assert isinstance(bound, float)
+        assert bound == 2.0
+
+    def test_partial_binding_keeps_expression(self):
+        theta, phi = Parameter("theta"), Parameter("phi")
+        partial = (theta + phi).bind({"theta": 1.0})
+        assert isinstance(partial, ParameterExpression)
+        assert {p.name for p in partial.parameters} == {"phi"}
+        assert partial.bind({"phi": 2.0}) == pytest.approx(3.0)
+
+    def test_products_of_expressions_are_rejected(self):
+        theta = Parameter("theta")
+        with pytest.raises(TypeError):
+            theta * theta
+
+    def test_float_of_free_expression_is_rejected(self):
+        with pytest.raises(TypeError):
+            float(Parameter("theta") + 1.0)
+
+    def test_helpers(self):
+        theta = Parameter("theta")
+        assert is_symbolic(theta) is True
+        assert is_symbolic(1.5) is False
+        assert bind_value(theta * 2, {"theta": 0.5}) == pytest.approx(1.0)
+        assert bind_value(3.0, {}) == 3.0
+        assert evaluate_if_bound(ParameterExpression(constant=1.25)) == 1.25
+
+    def test_invalid_names_are_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("")
+        with pytest.raises(ValueError):
+            Parameter(None)
+
+
+class TestGateTemplates:
+    def test_parameterized_gate_is_a_template(self):
+        theta = Parameter("theta")
+        gate = RZGate(theta)
+        assert gate.free_parameters == frozenset({theta})
+        bound = gate.bind_parameters({"theta": math.pi / 2})
+        assert bound.free_parameters == frozenset()
+        assert bound.params == (pytest.approx(math.pi / 2),)
+
+    def test_controlled_gate_binding_recurses_into_base(self):
+        theta = Parameter("theta")
+        gate = CRZGate(theta / 2)
+        bound = gate.bind_parameters({theta: math.pi})
+        assert bound.free_parameters == frozenset()
+        assert bound.base_gate.params == (pytest.approx(math.pi / 2),)
+
+    def test_circuit_binding_round_trip(self):
+        theta, phi = Parameter("theta"), Parameter("phi")
+        circuit = QuantumCircuit(2, name="template")
+        circuit.append(UGate(theta, phi, -phi), [0])
+        circuit.cx(0, 1)
+        circuit.append(RZGate(theta / 2), [1])
+        assert {p.name for p in circuit.free_parameters} == {"theta", "phi"}
+        bound = circuit.bind_parameters({"theta": 0.5, "phi": 0.25})
+        assert bound.free_parameters == frozenset()
+        direct = QuantumCircuit(2, name="direct")
+        direct.append(UGate(0.5, 0.25, -0.25), [0])
+        direct.cx(0, 1)
+        direct.append(RZGate(0.25), [1])
+        assert [i.operation for i in bound] == [i.operation for i in direct]
+
+
+@st.composite
+def linear_expressions(draw):
+    """A random linear form over up to three named parameters."""
+    names = draw(
+        st.lists(
+            st.sampled_from(["theta", "phi", "lam"]), min_size=0, max_size=3, unique=True
+        )
+    )
+    finite = st.floats(
+        min_value=-8.0, max_value=8.0, allow_nan=False, allow_infinity=False
+    )
+    terms = tuple((Parameter(name), draw(finite)) for name in names)
+    return ParameterExpression(terms, draw(finite))
+
+
+class TestSerializationRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(expr=linear_expressions())
+    def test_pickle_round_trip_preserves_identity_and_binding(self, expr):
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone == expr
+        assert hash(clone) == hash(expr)
+        values = {p.name: 0.5 for p in expr.parameters}
+        assert bind_value(clone, values) == pytest.approx(bind_value(expr, values))
+
+    @settings(max_examples=40, deadline=None)
+    @given(expr=linear_expressions())
+    def test_qasm_round_trip_preserves_binding(self, expr):
+        circuit = QuantumCircuit(1, name="sym")
+        circuit.append(RZGate(expr), [0])
+        restored = circuit_from_qasm(circuit_to_qasm(circuit))
+        (instruction,) = [i for i in restored if i.is_gate]
+        (param,) = instruction.operation.params
+        values = {p.name: 0.25 for p in expr.parameters}
+        assert bind_value(param, values) == pytest.approx(
+            bind_value(expr, values), abs=1e-9
+        )
+        restored_names = (
+            {p.name for p in param.parameters}
+            if isinstance(param, ParameterExpression)
+            else set()
+        )
+        assert restored_names == {p.name for p in expr.parameters}
+
+    def test_gate_pickle_round_trip_keeps_template(self):
+        theta = Parameter("theta")
+        gate = pickle.loads(pickle.dumps(CRZGate(theta)))
+        assert gate.free_parameters == frozenset({theta})
+        assert gate.bind_parameters({"theta": 1.0}).base_gate.params == (
+            pytest.approx(1.0),
+        )
+
+    def test_qasm_import_rejects_attribute_access(self):
+        from repro.exceptions import QasmError
+
+        with pytest.raises(QasmError):
+            circuit_from_qasm(
+                'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\n'
+                "rz(pi.__class__) q[0];\n"
+            )
+
+
+class TestSymbolicGateGuards:
+    def test_symbolic_gate_has_no_matrix(self):
+        # A template gate has no numeric matrix until bound; the complex
+        # arithmetic inside the matrix property rejects the free symbol.
+        gate = RZGate(Parameter("theta"))
+        with pytest.raises(TypeError):
+            gate.matrix

@@ -4,7 +4,8 @@ import threading
 
 import pytest
 
-from repro.algorithms import iterative_qpe, qpe_static
+from repro.algorithms import ghz_ladder, iterative_qpe, qpe_static
+from repro.compilation import rewrite_single_qubit_to_u
 from repro.core.configuration import Configuration
 from repro.core.manager import EquivalenceCheckingManager
 from repro.dd.package import DDPackage
@@ -14,7 +15,9 @@ from repro.service.metrics import (
     Histogram,
     MetricsRegistry,
     publish_dd_statistics,
+    publish_rewrite_statistics,
 )
+from repro.service.server import VerificationService
 
 
 def _parse_exposition(text: str) -> dict[str, float]:
@@ -209,6 +212,122 @@ class TestIntegrationHooks:
         publish_dd_statistics(registry, {"vector_nodes": 3}, checker="partial")
         nodes = registry.get("repro_dd_last_run_nodes")
         assert nodes.value(checker="partial", kind="vector_nodes") == 3
+
+
+class TestRewriteAndCanonicalMetrics:
+    def test_publish_rewrite_statistics_accumulates(self):
+        registry = MetricsRegistry()
+        publish_rewrite_statistics(
+            registry,
+            {
+                "input_gates": 10,
+                "merged_single_qubit": 4,
+                "cancelled_cx": 2,
+                "remaining": 0,
+                "proved": True,
+            },
+        )
+        publish_rewrite_statistics(registry, {"proved": False, "remaining": 3})
+        events = registry.get("repro_rewrite_events_total")
+        assert events.value(checker="rewrite", event="input_gates") == 10
+        assert events.value(checker="rewrite", event="merged_single_qubit") == 4
+        assert events.value(checker="rewrite", event="cancelled_cx") == 2
+        reductions = registry.get("repro_rewrite_reductions_total")
+        assert reductions.value(checker="rewrite", outcome="proved") == 1
+        assert reductions.value(checker="rewrite", outcome="residual") == 1
+        remaining = registry.get("repro_rewrite_last_run_remaining")
+        assert remaining.value(checker="rewrite") == 3
+
+    def test_manager_harvests_rewrite_statistics_from_attempts(self):
+        registry = MetricsRegistry()
+        manager = EquivalenceCheckingManager(
+            Configuration(portfolio=("rewrite",), seed=11, verdict_cache=False)
+        )
+        manager.metrics = registry
+        first = ghz_ladder(3)
+        second = rewrite_single_qubit_to_u(first)
+        result = manager.run(first, second)
+        assert result.equivalent is True
+        assert result.decided_by == "rewrite"
+        reductions = registry.get("repro_rewrite_reductions_total")
+        assert reductions.value(checker="rewrite", outcome="proved") == 1
+        events = registry.get("repro_rewrite_events_total")
+        assert events.value(checker="rewrite", event="input_gates") > 0
+
+    def test_canonical_cache_hit_counts_and_fans_out(self):
+        registry = MetricsRegistry()
+        manager = EquivalenceCheckingManager(
+            Configuration(seed=11, verdict_cache=True)
+        )
+        manager.metrics = registry
+        first = ghz_ladder(3)
+        cold = manager.run(first, first.copy())
+        assert cold.cached is False
+        # The same pair at another translation level: raw fingerprints differ
+        # but the canonical form is translation-level-invariant.
+        translated = rewrite_single_qubit_to_u(first)
+        cross = manager.run(translated, translated.copy())
+        assert cross.cached is True
+        assert cross.cached_via == "canonical_fingerprint"
+        runs = registry.get("repro_manager_runs_total")
+        assert runs.value(outcome="canonical_cache_hit") == 1
+        canonical = registry.get("repro_canonical_fingerprints_total")
+        assert canonical.value(status="computed") >= 1
+        # The canonical hit fanned out to the raw key: re-running the
+        # translated pair now hits the first (raw-fingerprint) tier.
+        again = manager.run(translated, translated.copy())
+        assert again.cached_via == "fingerprint"
+
+    def test_canonicalize_false_disables_the_canonical_tier(self):
+        registry = MetricsRegistry()
+        manager = EquivalenceCheckingManager(
+            Configuration(seed=11, verdict_cache=True, canonicalize=False)
+        )
+        manager.metrics = registry
+        first = ghz_ladder(3)
+        manager.run(first, first.copy())
+        cross = manager.run(
+            rewrite_single_qubit_to_u(first),
+            rewrite_single_qubit_to_u(first),
+        )
+        assert cross.cached is False
+        canonical = registry.get("repro_canonical_fingerprints_total")
+        assert canonical is None or canonical.value(status="computed") == 0
+
+    def test_service_stats_expose_canonicalization_and_rewrite_sections(self):
+        service = VerificationService(Configuration(seed=11))
+        try:
+            stats = service.stats()
+            assert stats["canonicalization"] == {
+                "enabled": True,
+                "cache_hits": 0,
+                "fingerprints_computed": 0,
+                "fingerprints_unavailable": 0,
+            }
+            assert stats["rewrite"]["proved"] == 0
+            assert set(stats["rewrite"]["events"]) == {
+                "input_gates",
+                "merged_single_qubit",
+                "cancelled_cx",
+            }
+            # Instruments are pre-registered: the families render on the
+            # first scrape, before any run populates them.
+            rendered = service.metrics.render()
+            for family in (
+                "repro_canonical_fingerprints_total",
+                "repro_rewrite_reductions_total",
+                "repro_rewrite_events_total",
+            ):
+                assert f"# TYPE {family} counter" in rendered
+            first = ghz_ladder(3)
+            service.manager.run(first, first.copy())
+            translated = rewrite_single_qubit_to_u(first)
+            service.manager.run(translated, translated.copy())
+            stats = service.stats()
+            assert stats["canonicalization"]["cache_hits"] == 1
+            assert stats["canonicalization"]["fingerprints_computed"] >= 1
+        finally:
+            service.shutdown(wait=False)
 
 
 class TestExports:

@@ -143,6 +143,24 @@ class TestRequestDeduplication:
         assert stats["jobs"].get("done", 0) >= 2
 
 
+class TestCrossLevelCacheHit:
+    def test_other_translation_level_is_a_verdict_cache_hit(self, client):
+        from repro.compilation import rewrite_single_qubit_to_u
+
+        first = ghz_ladder(3)
+        cold = client.verify(first, first.copy(), timeout=30.0)
+        assert cold["cached"] is False
+        # The same pair at another translation level: raw fingerprints
+        # differ, the canonical (translation-level-invariant) key hits.
+        translated = rewrite_single_qubit_to_u(first)
+        warm = client.verify(translated, translated.copy(), timeout=30.0)
+        assert warm["cached"] is True
+        assert warm["cached_via"] == "canonical_fingerprint"
+        assert warm["criterion"] == cold["criterion"]
+        stats = client.stats()
+        assert stats["canonicalization"]["cache_hits"] >= 1
+
+
 class TestServiceInProcess:
     def test_finished_jobs_are_pruned_beyond_the_retention_bound(self):
         service = VerificationService(
