@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 
@@ -349,6 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="settled jobs kept pollable before pruning (pruned verdicts are "
         "still served from the cache when possible)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM, stop accepting (503 + Retry-After) and finish "
+        "in-flight jobs for up to this long before exiting (0 disables)",
     )
 
     behaviour = subparsers.add_parser(
@@ -684,15 +693,38 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"queue_limit={queue_limit if queue_limit is not None else 'unbounded'})",
         flush=True,
     )
+    # SIGTERM (the orchestrator's "please stop") drains gracefully: new
+    # submissions get 503 + Retry-After while in-flight jobs finish and the
+    # verdict journal is flushed.  Ctrl-C stays an immediate shutdown.
+    class _Terminated(Exception):
+        pass
+
+    def _on_sigterm(signum, frame):
+        raise _Terminated
+
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use); skip the handler
+    drain_timeout = 0.0
     try:
         if thread is not None:
             thread.join()
         else:
             server.serve_forever()
+    except _Terminated:
+        drain_timeout = max(0.0, args.drain_timeout)
+        print(
+            f"SIGTERM: draining in-flight jobs (up to {drain_timeout:g}s)",
+            file=sys.stderr,
+        )
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
-        server.close()
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
+        server.close(drain_timeout=drain_timeout)
     return 0
 
 

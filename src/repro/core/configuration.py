@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.exceptions import ConfigurationError
+from repro.resilience.faults import FaultPlan
 
 __all__ = ["Configuration"]
 
@@ -147,6 +148,30 @@ class Configuration:
         fresh run decides — so it is deliberately *not* part of the
         fingerprinted configuration fields.  Automatically bypassed when
         the tolerance out-resolves the canonical angle grid.
+    breaker_threshold:
+        Consecutive-failure threshold of the per-checker circuit breakers
+        (see :mod:`repro.resilience.breaker`): a checker that crashes or
+        times out this many times in a row is quarantined until the
+        cooldown expires, and the portfolio degrades to the remaining
+        checkers.  ``None`` disables the breakers.  Deliberately *not* part
+        of the fingerprinted configuration fields — quarantine changes which
+        checkers run, never what a completed checker decides.
+    breaker_cooldown:
+        Seconds a tripped breaker stays open before admitting a single
+        half-open probe run.
+    batch_retries:
+        Retry budget for process-pool work units in ``verify_batch``: a
+        work unit lost to a dying worker (``BrokenProcessPool``) is
+        re-dispatched up to this many times — with the pool rebuilt and the
+        unit bisected so one poisoned pair cannot take healthy neighbours
+        down with it — before its pairs are reported as errors.  ``0``
+        restores fail-fast behaviour.  Ignored by the thread executor.
+    fault_plan:
+        Deterministic fault-injection plan
+        (:class:`~repro.resilience.faults.FaultPlan`) for the chaos test
+        suite; ``None`` — the only supported production value — makes every
+        injection point a no-op.  Not fingerprinted: injected faults must
+        never leak into cache keys.
     """
 
     method: str = "alternating"
@@ -172,6 +197,10 @@ class Configuration:
     cache_path: str | None = None
     cache_size: int | None = 1024
     canonicalize: bool = True
+    breaker_threshold: int | None = 5
+    breaker_cooldown: float = 30.0
+    batch_retries: int = 2
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         known_checkers = _registered_checkers()
@@ -237,6 +266,18 @@ class Configuration:
         if not isinstance(self.canonicalize, bool):
             raise ConfigurationError(
                 f"canonicalize must be a bool, got {self.canonicalize!r}"
+            )
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ConfigurationError(
+                "breaker_threshold must be at least 1 (or None to disable)"
+            )
+        if self.breaker_cooldown <= 0:
+            raise ConfigurationError("breaker_cooldown must be positive")
+        if self.batch_retries < 0:
+            raise ConfigurationError("batch_retries must be non-negative")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan (or None), got {self.fault_plan!r}"
             )
 
     @property

@@ -43,8 +43,10 @@ True
 from __future__ import annotations
 
 import concurrent.futures
+import random
 import threading
 import time
+from collections import deque
 from collections.abc import Sequence
 from dataclasses import replace
 
@@ -60,9 +62,12 @@ from repro.core.results import (
     EquivalenceCriterion,
     PortfolioResult,
 )
-from repro.core.scheduler import Schedule, resolve_scheduler
+from repro.core.scheduler import Schedule, deprioritize, resolve_scheduler
 from repro.core.transformation import to_unitary_circuit
 from repro.core.workers import BatchWorkUnit, chunk_pairs, verify_work_unit
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "DEFAULT_PORTFOLIO",
@@ -115,6 +120,10 @@ class EquivalenceCheckingManager:
             configuration = configuration.updated(**overrides)
         self.configuration = configuration
         self._scheduler = resolve_scheduler(configuration.scheduler)()
+        # Fault injection (repro.resilience.faults): a no-op unless the
+        # configuration carries an explicit plan (chaos tests only).  Built
+        # before the cache so journal-site faults can hook its writes.
+        self.fault_injector = FaultInjector(configuration.fault_plan)
         # The verdict cache is shared mutable state: callers that manage
         # several managers (the job-queue server, tests) can inject one
         # instance via ``cache=``; otherwise the manager builds its own from
@@ -126,7 +135,13 @@ class EquivalenceCheckingManager:
             from repro.service.cache import VerdictCache
 
             self.verdict_cache = VerdictCache(
-                max_entries=configuration.cache_size, path=configuration.cache_path
+                max_entries=configuration.cache_size,
+                path=configuration.cache_path,
+                write_hook=(
+                    self.fault_injector.hook("journal", "verdict_cache")
+                    if self.fault_injector.active
+                    else None
+                ),
             )
         else:
             self.verdict_cache = None
@@ -135,6 +150,25 @@ class EquivalenceCheckingManager:
         # counters into it.  The verification service wires its registry in;
         # plain in-process managers run unmetered.
         self.metrics = None
+        # Per-checker circuit breakers (repro.resilience.breaker): a checker
+        # that keeps crashing or timing out is quarantined and the portfolio
+        # degrades to the remaining checkers.  Shared across the thread batch
+        # pool (the board is thread-safe); process workers rebuild their own
+        # managers and hence keep per-process boards.
+        self.breakers = (
+            BreakerBoard(
+                configuration.breaker_threshold, configuration.breaker_cooldown
+            )
+            if configuration.breaker_threshold is not None
+            else None
+        )
+        self._batch_stats_lock = threading.Lock()
+        self._batch_stats = {
+            "pool_rebuilds": 0,
+            "unit_retries": 0,
+            "unit_bisections": 0,
+            "abandoned_units": 0,
+        }
 
     @property
     def portfolio(self) -> tuple[str, ...]:
@@ -301,6 +335,13 @@ class EquivalenceCheckingManager:
         start = time.perf_counter()
         if schedule is None:
             schedule = self.schedule_for(first, second)
+        if self.breakers is not None:
+            quarantined = self.breakers.quarantined()
+            if quarantined:
+                # Healthy checkers first; quarantined ones stay in the lineup
+                # as a last resort (their breakers may admit a probe, and the
+                # overall deadline should be spent on checkers that work).
+                schedule = deprioritize(schedule, quarantined)
         deadline = None if config.timeout is None else start + config.timeout
         attempts: list[CheckerAttempt] = []
         indicative: EquivalenceCriterion | None = None
@@ -327,6 +368,20 @@ class EquivalenceCheckingManager:
                 pass
 
         for position, slot in enumerate(schedule.checkers):
+            if self.breakers is not None and not self.breakers.allow(slot.name):
+                # Breaker open: refuse the call instead of paying for another
+                # crash/timeout.  The attempt is recorded so batch statistics
+                # and the result's schedule stay honest about what was skipped.
+                attempts.append(
+                    self._observe_attempt(
+                        CheckerAttempt(
+                            method=slot.name,
+                            status="quarantined",
+                            error="circuit breaker open: checker quarantined",
+                        )
+                    )
+                )
+                continue
             budget = slot.budget(config)
             if deadline is not None:
                 remaining = deadline - time.perf_counter()
@@ -353,6 +408,10 @@ class EquivalenceCheckingManager:
                 pair = (unitary_first, unitary_second)
             attempt = self._run_checker(slot.name, *pair, qubit_permutation, budget)
             attempts.append(attempt)
+            if self.breakers is not None:
+                # Crashes and blown budgets both count against the breaker;
+                # any completed run (whatever it concluded) heals it.
+                self.breakers.record(slot.name, attempt.status == "completed")
 
             if attempt.result is not None:
                 criterion = attempt.result.criterion
@@ -411,6 +470,7 @@ class EquivalenceCheckingManager:
 
         try:
             if budget is None:
+                self.fault_injector.fire("checker", method)
                 result = checker.run(first, second, qubit_permutation=qubit_permutation)
             else:
                 # Python threads cannot be killed; on timeout the worker is
@@ -424,6 +484,9 @@ class EquivalenceCheckingManager:
 
                 def worker():
                     try:
+                        # Injected inside the budgeted thread so a "sleep"
+                        # fault models a slow checker that blows its budget.
+                        self.fault_injector.fire("checker", method)
                         outcome["result"] = checker.run(
                             first,
                             second,
@@ -673,11 +736,19 @@ class EquivalenceCheckingManager:
         Scheduling decisions are made *once*, here in the parent, and shipped
         inside the (picklable) work units — workers replay them instead of
         re-deriving, so parent-side bookkeeping and worker-side execution can
-        never disagree on a pair's lineup.  A unit whose future fails as a
-        whole (unpicklable payload, a worker process dying, a broken pool) is
-        mapped back onto per-pair error entries, so failure isolation matches
-        the thread path at work-unit granularity and the batch always returns
-        one entry per input pair.
+        never disagree on a pair's lineup.
+
+        Failure handling (``configuration.batch_retries``): a unit whose
+        future fails as a whole — a worker process dying mid-unit, a broken
+        pool, an unpicklable payload — is *not* immediately mapped onto
+        per-pair error entries.  A broken pool is rebuilt (with jittered
+        backoff) and only the lost units are re-dispatched; a failed unit
+        with more than one pair is bisected so a single poisoned pair cannot
+        take its healthy neighbours down with it; a single-pair unit is
+        retried until its retry budget is exhausted and only then reported
+        as a per-pair error.  Input order and one-entry-per-pair are
+        preserved throughout.  ``batch_retries=0`` restores fail-fast
+        behaviour (no redispatch, the whole unit errors at once).
         """
         config = self.configuration
         entries: list[BatchEntry | None] = [None] * len(pairs)
@@ -685,33 +756,116 @@ class EquivalenceCheckingManager:
             index: self.schedule_for(first, second)
             for index, (first, second) in enumerate(pairs)
         }
-        with concurrent.futures.ProcessPoolExecutor(
+        # Backoff between pool rebuilds: tiny but jittered, so concurrent
+        # batches hammering a struggling machine spread their respawns out.
+        # Seeded for reproducible chaos tests.
+        policy = RetryPolicy(
+            attempts=config.batch_retries,
+            base=0.02,
+            cap=0.5,
+            rng=random.Random(config.seed if config.seed is not None else 0),
+        )
+        # Work queue of (unit, attempt, retries_left).  ``attempt`` rides
+        # into the worker inside the BatchWorkUnit so injected worker deaths
+        # are deterministic across freshly spawned processes.
+        pending: deque[tuple[list, int, int]] = deque(
+            (unit, 0, config.batch_retries)
+            for unit in chunk_pairs(pairs, config.batch_chunk_size)
+        )
+        executor = concurrent.futures.ProcessPoolExecutor(
             max_workers=config.max_workers
-        ) as executor:
-            futures = {
-                executor.submit(
-                    verify_work_unit,
-                    BatchWorkUnit(
+        )
+        barren_rounds = 0  # consecutive rounds in which nothing could run
+        # A dying worker breaks the whole pool: every in-flight future fails
+        # with BrokenProcessPool, including units whose only sin was sharing
+        # the round with the culprit.  Such collateral failures must not
+        # consume retry budgets, or one poisoned pair would bleed every
+        # healthy neighbour dry.  After a pool break the loop switches to
+        # *isolation* dispatch — one unit per round — where a failure is
+        # attributable to the dispatched unit alone and bisect/retry/abandon
+        # decisions are safe; a clean isolation round switches back to wide
+        # dispatch.  The wide/isolation alternation guarantees progress:
+        # every isolation round either fills entries or shrinks a unit or
+        # consumes attributable budget.
+        isolate = False
+        try:
+            while pending:
+                futures: dict = {}
+                while pending:
+                    unit, attempt, retries_left = pending.popleft()
+                    work = BatchWorkUnit(
                         configuration=config,
                         pairs=unit,
                         schedules={index: schedules[index] for index, _, _ in unit},
-                    ),
-                ): unit
-                for unit in chunk_pairs(pairs, config.batch_chunk_size)
-            }
-            for future, unit in futures.items():
-                try:
-                    for entry in future.result():
-                        entries[entry.index] = entry
-                except Exception as error:  # noqa: BLE001 - isolate unit failures
-                    for index, first, second in unit:
-                        entries[index] = BatchEntry(
-                            index=index,
-                            name_first=getattr(first, "name", None) or f"first[{index}]",
-                            name_second=getattr(second, "name", None)
-                            or f"second[{index}]",
-                            error=f"{type(error).__name__}: {error}",
+                        attempt=attempt,
+                    )
+                    try:
+                        future = executor.submit(verify_work_unit, work)
+                    except Exception:  # noqa: BLE001 - pool broke during submit
+                        pending.appendleft((unit, attempt, retries_left))
+                        break
+                    futures[future] = (unit, attempt, retries_left)
+                    if isolate:
+                        break
+                pool_broken = False
+                round_failed = False
+                for future, (unit, attempt, retries_left) in futures.items():
+                    try:
+                        for entry in future.result():
+                            entries[entry.index] = entry
+                    except Exception as error:  # noqa: BLE001 - isolate unit failures
+                        round_failed = True
+                        collateral = isinstance(
+                            error, concurrent.futures.process.BrokenProcessPool
                         )
+                        pool_broken = pool_broken or collateral
+                        if collateral and not isolate:
+                            # Cannot tell culprit from bystander in a wide
+                            # round: re-dispatch intact (budget untouched) and
+                            # let the isolation rounds assign blame.
+                            pending.append((unit, attempt + 1, retries_left))
+                        else:
+                            self._settle_failed_unit(
+                                unit, attempt, retries_left, error, entries, pending
+                            )
+                if pool_broken:
+                    isolate = True
+                elif isolate and futures and not round_failed:
+                    isolate = False
+                if not futures:
+                    # Submit itself failed before anything ran.  A handful of
+                    # consecutive barren rounds means the pool cannot even be
+                    # respawned — give up on whatever is still queued rather
+                    # than rebuilding forever.
+                    barren_rounds += 1
+                    if barren_rounds > config.batch_retries + 1:
+                        while pending:
+                            unit, attempt, _ = pending.popleft()
+                            self._settle_failed_unit(
+                                unit,
+                                attempt,
+                                0,
+                                RuntimeError("process pool could not be restarted"),
+                                entries,
+                                pending,
+                            )
+                        break
+                else:
+                    barren_rounds = 0
+                if pool_broken or not futures:
+                    # The pool lost a process (every in-flight future fails
+                    # together) or submit itself failed: rebuild before the
+                    # next round, backing off so respawn storms can't spin.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=config.max_workers
+                    )
+                    with self._batch_stats_lock:
+                        self._batch_stats["pool_rebuilds"] += 1
+                    if pending:
+                        policy.backoff()
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
         for index, (first, second) in enumerate(pairs):
             if entries[index] is None:  # defensive: a worker under-delivered
                 entries[index] = BatchEntry(
@@ -721,6 +875,50 @@ class EquivalenceCheckingManager:
                     error="worker returned no entry for this pair",
                 )
         return entries
+
+    def _settle_failed_unit(
+        self,
+        unit: list,
+        attempt: int,
+        retries_left: int,
+        error: Exception,
+        entries: list,
+        pending: deque,
+    ) -> None:
+        """Bisect / retry / abandon one failed work unit (process path).
+
+        Multi-pair units are bisected (halves keep the retry budget — the
+        shrinking size bounds the recursion); single-pair units consume one
+        retry per redispatch; an exhausted single-pair unit is mapped onto
+        its per-pair error entry.  With ``batch_retries=0`` every failed
+        unit is abandoned at once, matching the historical fail-fast path.
+        """
+        if retries_left > 0 and len(unit) > 1:
+            mid = len(unit) // 2
+            with self._batch_stats_lock:
+                self._batch_stats["unit_bisections"] += 1
+            pending.append((unit[:mid], attempt + 1, retries_left))
+            pending.append((unit[mid:], attempt + 1, retries_left))
+            return
+        if retries_left > 0:
+            with self._batch_stats_lock:
+                self._batch_stats["unit_retries"] += 1
+            pending.append((unit, attempt + 1, retries_left - 1))
+            return
+        with self._batch_stats_lock:
+            self._batch_stats["abandoned_units"] += 1
+        for index, first, second in unit:
+            entries[index] = BatchEntry(
+                index=index,
+                name_first=getattr(first, "name", None) or f"first[{index}]",
+                name_second=getattr(second, "name", None) or f"second[{index}]",
+                error=f"{type(error).__name__}: {error}",
+            )
+
+    def batch_statistics(self) -> dict:
+        """Process-pool resilience counters (rebuilds/retries/bisections)."""
+        with self._batch_stats_lock:
+            return dict(self._batch_stats)
 
     def _batch_entry(
         self,

@@ -38,7 +38,9 @@ the parent and ships them inside the work units.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclass_replace
 from typing import TYPE_CHECKING, ClassVar
 
 from repro.core.checkers import base as checker_registry
@@ -57,6 +59,7 @@ __all__ = [
     "ScheduledChecker",
     "StaticScheduler",
     "available_schedulers",
+    "deprioritize",
     "register_scheduler",
     "resolve_scheduler",
 ]
@@ -280,6 +283,29 @@ class AdaptiveScheduler(PortfolioScheduler):
             rationale="no feature rule fired; configured portfolio order",
             features=features,
         )
+
+
+def deprioritize(schedule: Schedule, names: Iterable[str]) -> Schedule:
+    """Stably move the named checkers to the end of a schedule's lineup.
+
+    Used by the manager's circuit breakers
+    (:mod:`repro.resilience.breaker`): quarantined checkers are *moved*, not
+    dropped, so a breaker that transitions to half-open by the time the
+    lineup reaches them can still admit a probe run — and when every healthy
+    checker fails to decide, the quarantined ones remain the lineup's last
+    resort rather than silently vanishing from the recorded schedule.
+    """
+    blocked = set(names)
+    if not blocked.intersection(schedule.checker_names):
+        return schedule
+    healthy = tuple(slot for slot in schedule.checkers if slot.name not in blocked)
+    quarantined = tuple(slot for slot in schedule.checkers if slot.name in blocked)
+    moved = ", ".join(slot.name for slot in quarantined)
+    return dataclass_replace(
+        schedule,
+        checkers=healthy + quarantined,
+        rationale=f"{schedule.rationale}; quarantined checkers moved last: {moved}",
+    )
 
 
 # ----------------------------------------------------------------------

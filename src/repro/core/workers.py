@@ -46,12 +46,16 @@ class BatchWorkUnit:
     order regardless of completion order.  ``schedules`` maps pair indices to
     the scheduling decisions the parent process already made — workers replay
     them verbatim instead of re-deriving, so a pair's recorded lineup is the
-    same no matter which side of the process boundary ran it.
+    same no matter which side of the process boundary ran it.  ``attempt``
+    counts re-dispatches of this unit by the parent's retry loop (0 on first
+    dispatch); the fault-injection harness keys worker-death rules on it so
+    an injected crash is deterministic across freshly spawned processes.
     """
 
     configuration: Configuration
     pairs: list[tuple[int, QuantumCircuit, QuantumCircuit]]
     schedules: dict[int, Schedule] = field(default_factory=dict)
+    attempt: int = 0
 
 
 def chunk_pairs(
@@ -86,13 +90,24 @@ def verify_work_unit(unit: BatchWorkUnit) -> list[BatchEntry]:
     # Imported here, not at module top, to avoid a circular import with
     # repro.core.manager (which imports this module for chunking).
     from repro.core.manager import EquivalenceCheckingManager
+    from repro.resilience.faults import FaultInjector
 
     manager = EquivalenceCheckingManager(
         unit.configuration.updated(
             executor="thread", verdict_cache=False, cache_path=None
         )
     )
-    return [
-        manager._batch_entry(index, first, second, unit.schedules.get(index))
-        for index, first, second in unit.pairs
-    ]
+    # Worker-site fault injection (a no-op without a fault plan): rules are
+    # matched against the pair index and keyed on the unit's attempt number,
+    # so an "exit" rule kills this process deterministically — including
+    # after the parent respawned the pool — until the attempt count outgrows
+    # the rule's ``times`` budget.
+    injector = FaultInjector(unit.configuration.fault_plan)
+    entries = []
+    for index, first, second in unit.pairs:
+        if injector.active:
+            injector.fire("worker", str(index), attempt=unit.attempt)
+        entries.append(
+            manager._batch_entry(index, first, second, unit.schedules.get(index))
+        )
+    return entries

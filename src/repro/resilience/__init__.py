@@ -1,0 +1,42 @@
+"""Fault tolerance for the verification stack (PR 8).
+
+Four building blocks, threaded through the manager, the batch executors,
+the verdict cache and the service layer:
+
+* :mod:`repro.resilience.breaker` — per-checker circuit breakers: a checker
+  that keeps crashing or timing out is quarantined (open → half-open probe
+  → closed) and the portfolio degrades to the remaining checkers.
+* :mod:`repro.resilience.retry` — bounded retry with capped decorrelated
+  jitter, shared by the HTTP client, the process-pool rebuild path and the
+  server's per-job retry budget.
+* :mod:`repro.resilience.journal` — a crash-safe append-only journal
+  (checksummed length-prefixed records, torn-tail truncation, quantified
+  recovery, size-triggered compaction) backing the verdict cache.
+* :mod:`repro.resilience.faults` — a deterministic, seeded fault-injection
+  harness (``Configuration.fault_plan``) used by the chaos test suite; a
+  no-op unless a plan is explicitly configured.
+"""
+
+from repro.resilience.breaker import STATE_VALUES, BreakerBoard, CircuitBreaker
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from repro.resilience.journal import CrashSafeJournal
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "FAULT_SITES",
+    "STATE_VALUES",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CrashSafeJournal",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+]

@@ -1,0 +1,283 @@
+"""Crash-safe append-only journal: checksummed records, quantified recovery.
+
+The verdict cache's persistence tier (PR 5) wrote bare JSON lines: a crash
+mid-append leaves a torn final line, and a corrupt byte anywhere silently
+poisons `json.loads` for that record with no way to tell "corrupt" apart
+from "legacy format".  :class:`CrashSafeJournal` upgrades the framing while
+staying replay-compatible with the old files:
+
+* **Record format** — one line per record::
+
+      R <payload-length> <crc32-hex> <json-payload>\\n
+
+  The payload is compact JSON (no raw newlines — JSON escapes them), so a
+  record is exactly one line.  Length and CRC32 are both checked on replay:
+  a flipped byte, a torn write, or a concatenation artefact fails the frame
+  and the record is *counted*, not silently swallowed.
+* **Legacy compatibility** — a line that is not framed but parses as a JSON
+  object is accepted as a legacy record, so journals written before this PR
+  replay cleanly.
+* **Atomic append** — each record is a single ``write()`` on an append-mode
+  handle followed by a flush (optionally ``fsync``).  POSIX appends of one
+  small buffer land entirely or not at all in practice; even when they do
+  not, the frame check turns a torn append into a counted, truncated tail
+  rather than a corrupt cache.
+* **Torn-tail truncation** — on replay, everything after the last good
+  record is dropped; if that trailing region is non-empty the file is
+  truncated back to the last good byte so the next append starts clean.
+  Corruption *followed by* good records is dropped from replay but left in
+  place (truncating would discard the good records after it).
+* **Quantified recovery** — ``recovered`` / ``dropped`` / ``legacy`` /
+  ``truncated_bytes`` counters say exactly what replay did, and are exported
+  via the verdict cache's statistics and the service ``/metrics`` endpoint.
+* **Compaction** — when the file grows past ``max_bytes`` and a ``key``
+  function is configured, the journal rewrites itself keeping only the last
+  record per key (write to a temp file, then ``os.replace`` — atomic on
+  POSIX), so long-lived servers stay bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["CrashSafeJournal"]
+
+_MAGIC = b"R "
+
+
+def _encode_record(record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"R %d %08x " % (len(payload), crc) + payload + b"\n"
+
+
+class CrashSafeJournal:
+    """Checksummed length-prefixed record journal with torn-tail recovery.
+
+    ``key`` (optional) extracts a deduplication key from a record; it enables
+    last-record-per-key compaction and the :attr:`latest` view.  ``write_hook``
+    (optional) runs before every physical write — the fault-injection harness
+    uses it to simulate I/O failures.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        key: Callable[[dict], str | None] | None = None,
+        max_bytes: int | None = None,
+        fsync: bool = False,
+        truncate_torn_tail: bool = True,
+        write_hook: Callable[[], None] | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1 (or None for unbounded)")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.fsync = fsync
+        self._key = key
+        self._truncate_torn_tail = truncate_torn_tail
+        self._write_hook = write_hook
+        self._lock = threading.RLock()
+        self._latest: OrderedDict[str, dict] = OrderedDict()
+        self._recovered = 0
+        self._dropped = 0
+        self._legacy = 0
+        self._truncated_bytes = 0
+        self._appends = 0
+        self._append_errors = 0
+        self._compactions = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.touch(exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # replay / recovery
+    # ------------------------------------------------------------------
+
+    def replay(self) -> list[dict]:
+        """Recover all intact records, in order; truncate a torn tail.
+
+        Never raises on corrupt content: bad records are counted in
+        ``dropped`` and skipped.  Returns the recovered payload dicts.
+        """
+        with self._lock:
+            data = self.path.read_bytes()
+            records: list[dict] = []
+            good_end = 0  # byte offset just past the last intact record
+            pos = 0
+            while pos < len(data):
+                newline = data.find(b"\n", pos)
+                if newline == -1:
+                    # Partial trailing line: the signature torn append.
+                    self._dropped += 1
+                    break
+                line = data[pos:newline]
+                record = self._decode_record(line)
+                if record is not None:
+                    records.append(record)
+                    self._recovered += 1
+                    good_end = newline + 1
+                elif not line.strip():
+                    # Whitespace-only line: harmless, keep the framing intact.
+                    good_end = newline + 1
+                else:
+                    self._dropped += 1
+                pos = newline + 1
+            if good_end < len(data) and self._truncate_torn_tail:
+                self._truncate_to(good_end, len(data))
+            if self._key is not None:
+                for record in records:
+                    key = self._key(record)
+                    if key is not None:
+                        self._latest[key] = record
+                        self._latest.move_to_end(key)
+            return records
+
+    def _decode_record(self, line: bytes) -> dict | None:
+        if line.startswith(_MAGIC):
+            parts = line.split(b" ", 3)
+            if len(parts) != 4:
+                return None
+            try:
+                length = int(parts[1])
+                crc = int(parts[2], 16)
+            except ValueError:
+                return None
+            payload = parts[3]
+            if len(payload) != length or (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                return None
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                return None
+            return record if isinstance(record, dict) else None
+        # Legacy tier: a bare JSON-object line from the pre-framing journal.
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if isinstance(record, dict):
+            self._legacy += 1
+            return record
+        return None
+
+    def _truncate_to(self, good_end: int, total: int) -> None:
+        try:
+            with self.path.open("r+b") as handle:
+                handle.truncate(good_end)
+        except OSError:
+            # A read-only journal still replays fine; recovery is best-effort.
+            return
+        self._truncated_bytes += total - good_end
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Append one record atomically; raises ``OSError`` on I/O failure."""
+        line = _encode_record(record)
+        with self._lock:
+            if self._write_hook is not None:
+                self._write_hook()
+            try:
+                with self.path.open("ab") as handle:
+                    handle.write(line)
+                    handle.flush()
+                    if self.fsync:
+                        os.fsync(handle.fileno())
+            except OSError:
+                self._append_errors += 1
+                raise
+            self._appends += 1
+            if self._key is not None:
+                key = self._key(record)
+                if key is not None:
+                    self._latest[key] = record
+                    self._latest.move_to_end(key)
+                if (
+                    self.max_bytes is not None
+                    and self.path.stat().st_size > self.max_bytes
+                ):
+                    self.compact()
+
+    def compact(self) -> int:
+        """Rewrite the journal keeping the last record per key; atomic swap.
+
+        Returns the number of records kept.  Requires a ``key`` function
+        (without one there is nothing safe to drop).
+        """
+        if self._key is None:
+            raise RuntimeError("compaction requires a key function")
+        with self._lock:
+            tmp_path = self.path.with_name(self.path.name + ".compact")
+            try:
+                with tmp_path.open("wb") as handle:
+                    for record in self._latest.values():
+                        handle.write(_encode_record(record))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self.path)
+            except OSError:
+                self._append_errors += 1
+                try:
+                    tmp_path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                raise
+            self._compactions += 1
+            return len(self._latest)
+
+    def flush(self) -> None:
+        """Force journal bytes to disk (drain path); best-effort."""
+        with self._lock:
+            try:
+                with self.path.open("ab") as handle:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def latest(self) -> dict:
+        """Last record per key (insertion-ordered copy); needs ``key``."""
+        with self._lock:
+            return dict(self._latest)
+
+    def statistics(self) -> dict:
+        with self._lock:
+            try:
+                size = self.path.stat().st_size
+            except OSError:
+                size = 0
+            return {
+                "path": str(self.path),
+                "size_bytes": size,
+                "recovered": self._recovered,
+                "dropped": self._dropped,
+                "legacy": self._legacy,
+                "truncated_bytes": self._truncated_bytes,
+                "appends": self._appends,
+                "append_errors": self._append_errors,
+                "compactions": self._compactions,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            f"CrashSafeJournal(path={stats['path']!r}, "
+            f"recovered={stats['recovered']}, dropped={stats['dropped']}, "
+            f"appends={stats['appends']})"
+        )

@@ -1,0 +1,72 @@
+"""Retry policies: exponential backoff with capped decorrelated jitter.
+
+Every retry loop in the stack (client-side 429/503 handling, process-pool
+rebuilds, server-side per-job retry budgets) shares one policy object so the
+backoff behaviour is uniform and testable.  The jitter scheme is the
+"decorrelated jitter" variant: each sleep is drawn uniformly from
+``[base, previous * 3]`` and capped, which spreads concurrent retriers apart
+while still growing roughly exponentially.  A server-provided ``Retry-After``
+hint takes precedence over the computed backoff (it is still capped).
+
+The RNG and the sleep function are injectable: tests pass a seeded
+:class:`random.Random` and a recording fake for ``sleep`` so retry schedules
+are deterministic and instantaneous.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Bounded retry schedule with capped decorrelated jitter.
+
+    ``attempts`` counts *retries*, not total tries: ``attempts=2`` means one
+    initial call plus up to two retries.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base: float = 0.1,
+        cap: float = 5.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 0:
+            raise ValueError("attempts must be non-negative")
+        if base <= 0 or cap < base:
+            raise ValueError("need 0 < base <= cap")
+        self.attempts = attempts
+        self.base = base
+        self.cap = cap
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._previous = base
+
+    def reset(self) -> None:
+        """Forget backoff history (start the next schedule from ``base``)."""
+        self._previous = self.base
+
+    def next_delay(self, retry_after: float | None = None) -> float:
+        """The next sleep duration, honoring an optional server hint."""
+        if retry_after is not None and retry_after > 0:
+            delay = min(float(retry_after), self.cap)
+            # The hint also advances the decorrelated sequence so a later
+            # hint-less retry does not restart from the tiny base.
+            self._previous = max(self._previous, delay)
+            return delay
+        delay = min(self.cap, self._rng.uniform(self.base, self._previous * 3))
+        self._previous = delay
+        return delay
+
+    def backoff(self, retry_after: float | None = None) -> float:
+        """Sleep for :meth:`next_delay` and return the duration slept."""
+        delay = self.next_delay(retry_after)
+        if delay > 0:
+            self._sleep(delay)
+        return delay

@@ -123,6 +123,7 @@ class AsyncVerificationServer:
         queue_limit: int | None | str = "auto",
         rate_limit: float | None = None,
         rate_burst: float | None = None,
+        job_retries: int = 2,
     ):
         configuration = configuration or Configuration()
         if queue_limit == "auto":
@@ -132,6 +133,7 @@ class AsyncVerificationServer:
             cache=cache,
             max_finished_jobs=max_finished_jobs,
             queue_limit=queue_limit,
+            job_retries=job_retries,
         )
         if rate_limit is not None and rate_limit <= 0:
             raise ServiceError("rate_limit must be positive", status=500)
@@ -208,7 +210,22 @@ class AsyncVerificationServer:
             )
         return self._thread
 
-    def close(self) -> None:
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Stop accepting new jobs, finish in-flight ones (up to ``timeout``).
+
+        The event loop keeps serving throughout — new submissions get 503 +
+        ``Retry-After``, status/result/metrics stay live — so clients can
+        collect verdicts for work already accepted.  Runs the (blocking)
+        service drain off the event loop thread, which is safe because this
+        method is meant for the controlling thread (CLI signal handler,
+        tests), never for a coroutine.
+        """
+        return self.service.drain(timeout)
+
+    def close(self, drain_timeout: float = 0.0) -> None:
+        """Shut down; with ``drain_timeout > 0`` drain gracefully first."""
+        if drain_timeout > 0:
+            self.service.drain(drain_timeout)
         if self._loop is not None and self._stop is not None:
             try:
                 self._loop.call_soon_threadsafe(self._stop.set)
@@ -367,9 +384,7 @@ class AsyncVerificationServer:
             if parts == ["stats"]:
                 return 200, self.service.stats(), {}, False
             if parts == ["healthz"]:
-                from repro import __version__
-
-                return 200, {"ok": True, "version": __version__}, {}, False
+                return 200, self.service.health(), {}, False
             if len(parts) == 2 and parts[0] == "jobs":
                 return 200, self.service.job_status(parts[1]), {}, False
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":

@@ -8,10 +8,15 @@ schedule, per-checker timings) under the pair's
 
 * an **in-memory LRU tier** bounded by ``max_entries`` (mirroring the DD
   gate cache's eviction policy), and
-* an optional **persistent JSON-lines tier** (``Configuration.cache_path``):
-  every store appends one JSON record, and a fresh cache instance replays
-  the journal on construction — verdicts survive process restarts, which is
-  what turns a per-run memoization into service-lifetime cache management.
+* an optional **persistent tier** (``Configuration.cache_path``) backed by
+  a :class:`~repro.resilience.journal.CrashSafeJournal` (PR 8): every store
+  appends one checksummed, length-prefixed record; a fresh cache instance
+  replays the journal on construction with torn-tail truncation and
+  quantified recovery (``recovered``/``dropped`` counters), and the file is
+  compacted to last-record-per-fingerprint once it outgrows
+  ``journal_max_bytes`` — verdicts survive crashes and restarts, and
+  long-lived servers stay bounded.  Journals written by the pre-PR-8 bare
+  JSON-lines format replay cleanly (the journal's legacy tier).
 
 Only *conclusive* results are cached: a ``NO_INFORMATION`` outcome (errors,
 timeouts) must stay retryable and would otherwise poison the cache.  Hit /
@@ -23,11 +28,11 @@ its worker pool.
 
 from __future__ import annotations
 
-import json
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.core.results import (
     CheckerAttempt,
@@ -35,6 +40,7 @@ from repro.core.results import (
     EquivalenceCriterion,
     PortfolioResult,
 )
+from repro.resilience.journal import CrashSafeJournal
 
 __all__ = ["CachedAttempt", "CachedVerdict", "VerdictCache"]
 
@@ -153,9 +159,20 @@ class CachedVerdict:
 
 
 class VerdictCache:
-    """Two-tier (LRU memory + JSON-lines journal) verdict cache."""
+    """Two-tier (LRU memory + crash-safe journal) verdict cache."""
 
-    def __init__(self, max_entries: int | None = 1024, path: "str | Path | None" = None):
+    #: Default compaction trigger: once the journal file outgrows this the
+    #: next store rewrites it to last-record-per-fingerprint.
+    DEFAULT_JOURNAL_MAX_BYTES = 16 * 1024 * 1024
+
+    def __init__(
+        self,
+        max_entries: int | None = 1024,
+        path: "str | Path | None" = None,
+        *,
+        journal_max_bytes: int | None = DEFAULT_JOURNAL_MAX_BYTES,
+        write_hook: Callable[[], None] | None = None,
+    ):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be at least 1 (or None for unbounded)")
         self.max_entries = max_entries
@@ -165,6 +182,7 @@ class VerdictCache:
         # The replayed journal: never evicted (it is disk-backed content and
         # one dict entry per record is cheap next to re-verifying a pair).
         self._persistent: dict[str, CachedVerdict] = {}
+        self._journal: CrashSafeJournal | None = None
         self._hits = 0
         self._misses = 0
         self._persistent_hits = 0
@@ -174,9 +192,15 @@ class VerdictCache:
         if self.path is not None:
             # Fail fast on an unusable path: a cache that would only blow up
             # at the first store — after a verification already succeeded —
-            # is worse than an early, attributable construction error.
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.touch(exist_ok=True)
+            # is worse than an early, attributable construction error.  The
+            # journal constructor creates parent directories and touches the
+            # file; replay truncates a torn tail and counts what it dropped.
+            self._journal = CrashSafeJournal(
+                self.path,
+                key=lambda record: record.get("fingerprint"),
+                max_bytes=journal_max_bytes,
+                write_hook=write_hook,
+            )
             self._replay_journal()
 
     # ------------------------------------------------------------------
@@ -184,17 +208,16 @@ class VerdictCache:
     # ------------------------------------------------------------------
 
     def _replay_journal(self) -> None:
-        """Load the JSON-lines journal (last record per fingerprint wins).
+        """Replay the crash-safe journal (last record per fingerprint wins).
 
-        A truncated trailing line (e.g. a crash mid-append) is skipped rather
-        than failing the whole cache: the journal is a cache, not a ledger.
+        Torn or corrupt records are counted and skipped by the journal
+        rather than failing the whole cache: the journal is a cache, not a
+        ledger.  A record that frames correctly but no longer decodes into a
+        :class:`CachedVerdict` (schema drift) is likewise skipped.
         """
-        for line in self.path.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
-                continue
+        for payload in self._journal.replay():
             try:
-                verdict = CachedVerdict.from_json(json.loads(line))
+                verdict = CachedVerdict.from_json(payload)
             except (ValueError, KeyError, TypeError):
                 continue
             self._persistent[verdict.fingerprint] = verdict
@@ -207,11 +230,11 @@ class VerdictCache:
         stays served from memory and ``journal_errors`` counts the loss.
         """
         try:
-            with self.path.open("a", encoding="utf-8") as journal:
-                journal.write(json.dumps(verdict.to_json()) + "\n")
+            self._journal.append(verdict.to_json())
         except OSError:
             self._journal_errors += 1
             self.path = None
+            self._journal = None
 
     # ------------------------------------------------------------------
     # cache protocol
@@ -253,10 +276,16 @@ class VerdictCache:
         with self._lock:
             self._stores += 1
             self._store_memory(fingerprint, verdict)
-            if self.path is not None:
+            if self._journal is not None:
                 self._persistent[fingerprint] = verdict
                 self._append_journal(verdict)
         return True
+
+    def flush(self) -> None:
+        """Force journal bytes to disk (graceful-drain path); best-effort."""
+        with self._lock:
+            if self._journal is not None:
+                self._journal.flush()
 
     def _store_memory(self, fingerprint: str, verdict: CachedVerdict) -> None:
         self._memory[fingerprint] = verdict
@@ -308,6 +337,12 @@ class VerdictCache:
                 "journal_errors": self._journal_errors,
                 "hit_ratio": (self._hits / lookups) if lookups else 0.0,
                 "path": str(self.path) if self.path is not None else None,
+                # Crash-safety counters from the journal itself: how many
+                # records the last replay recovered/dropped, torn-tail bytes
+                # truncated, compactions run.  None when memory-only.
+                "journal": (
+                    self._journal.statistics() if self._journal is not None else None
+                ),
             }
 
     def __repr__(self) -> str:

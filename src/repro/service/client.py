@@ -12,6 +12,15 @@ so a warm-cache verification completes in two HTTP requests — one submit,
 one result — instead of a 50 ms poll loop.  Against a server that ignores
 ``?wait=`` the client degrades gracefully to sleeping between polls.
 
+With ``retries=N`` the client transparently retries requests the server
+refused with 429/503 — or could not answer at all (connection errors) —
+honoring the server's ``Retry-After`` hint when present and otherwise
+backing off with capped decorrelated jitter
+(:class:`~repro.resilience.retry.RetryPolicy`).  Retrying a submit is safe:
+the server coalesces identical in-flight submissions by fingerprint, so a
+retried submit lands on the same job.  The default is ``retries=0`` —
+callers that implement their own backpressure handling see every 429.
+
 Example
 -------
 >>> from repro.service import VerificationClient, VerificationServer
@@ -26,13 +35,20 @@ Example
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 
 from repro.exceptions import ServiceError
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["VerificationClient"]
+
+#: HTTP statuses worth retrying: overload shedding and transient
+#: unavailability.  Everything else (404/409/410/4xx misuse/500 job
+#: failures) is either caller-visible protocol state or a real error.
+_RETRYABLE_STATUSES = frozenset({429, 503})
 
 #: Cap on one long-poll request; matches the server-side cap so a client
 #: asking for more simply re-issues the request.
@@ -60,17 +76,70 @@ def _retry_after_from(error: urllib.error.HTTPError) -> float | None:
 
 
 class VerificationClient:
-    """HTTP client for a thread or asyncio verification server."""
+    """HTTP client for a thread or asyncio verification server.
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    ``retries`` bounds how many times one logical request is re-issued after
+    a retryable failure (429/503/connection error); ``retry_base`` /
+    ``retry_cap`` shape the jittered backoff between tries.  ``retry_rng``
+    and ``retry_sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        *,
+        retries: int = 0,
+        retry_base: float = 0.1,
+        retry_cap: float = 5.0,
+        retry_rng: random.Random | None = None,
+        retry_sleep=time.sleep,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self._retry_base = retry_base
+        self._retry_cap = retry_cap
+        self._retry_rng = retry_rng
+        self._retry_sleep = retry_sleep
+        #: Lifetime count of retried requests (observability / tests).
+        self.retries_performed = 0
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        if self.retries <= 0:
+            return self._request_once(method, path, payload, timeout)
+        # One fresh policy per logical request: backoff history must not
+        # leak across unrelated calls, and a per-request policy needs no
+        # locking for concurrent callers sharing the client.
+        policy = RetryPolicy(
+            attempts=self.retries,
+            base=self._retry_base,
+            cap=self._retry_cap,
+            rng=self._retry_rng,
+            sleep=self._retry_sleep,
+        )
+        remaining = self.retries
+        while True:
+            try:
+                return self._request_once(method, path, payload, timeout)
+            except ServiceError as error:
+                if remaining <= 0 or error.status not in _RETRYABLE_STATUSES:
+                    raise
+                remaining -= 1
+                self.retries_performed += 1
+                policy.backoff(error.retry_after)
+
+    def _request_once(
         self,
         method: str,
         path: str,

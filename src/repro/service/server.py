@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import math
+import random
 import threading
 import time
 from collections import deque
@@ -49,6 +50,8 @@ from repro.circuit.qasm import circuit_from_qasm
 from repro.core.configuration import Configuration
 from repro.core.manager import EquivalenceCheckingManager
 from repro.exceptions import ReproError, ServiceError
+from repro.resilience.breaker import STATE_VALUES
+from repro.resilience.retry import RetryPolicy
 from repro.service.fingerprint import fingerprints_sound_for, pair_fingerprint
 from repro.service.metrics import _REWRITE_COUNTER_KEYS, MetricsRegistry
 
@@ -132,6 +135,7 @@ class VerificationService:
         max_finished_jobs: int = 1024,
         queue_limit: int | None = None,
         metrics: MetricsRegistry | None = None,
+        job_retries: int = 2,
     ):
         configuration = configuration or Configuration()
         if cache and not configuration.cache_enabled:
@@ -142,6 +146,8 @@ class VerificationService:
             raise ServiceError("max_finished_jobs must be at least 1", status=500)
         if queue_limit is not None and queue_limit < 1:
             raise ServiceError("queue_limit must be at least 1", status=500)
+        if job_retries < 0:
+            raise ServiceError("job_retries must be non-negative", status=500)
         self.configuration = configuration
         # Dedup by fingerprint is only sound when the tolerance cannot
         # out-resolve the canonical form (same rule the manager applies to
@@ -171,6 +177,13 @@ class VerificationService:
         self.coalesced = 0
         self.failed = 0
         self.rejected = 0
+        # Per-job retry budget for checker-level crashes: a job whose
+        # portfolio run *raises* (not one that merely concludes
+        # NO_INFORMATION) is re-run up to this many times with jittered
+        # backoff before being settled as failed.
+        self.job_retries = job_retries
+        self.job_retries_performed = 0
+        self._draining = False
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._register_metrics()
         # The manager observes per-checker latency histograms and cache-hit
@@ -258,6 +271,88 @@ class VerificationService:
             labelnames=("checker", "event"),
         )
 
+        # --- resilience instruments (PR 8) -----------------------------
+        self._m_job_retries = registry.counter(
+            "repro_service_job_retries_total",
+            "Job executions retried after a checker-level crash.",
+        )
+        draining = registry.gauge(
+            "repro_service_draining",
+            "1 while the service is draining (rejecting new submissions).",
+        )
+        draining.set_function(lambda: 1.0 if self._draining else 0.0)
+        breaker_state = registry.gauge(
+            "repro_breaker_state",
+            "Per-checker circuit-breaker state (0=closed, 1=half-open, 2=open).",
+            labelnames=("checker",),
+        )
+        breaker_events = registry.gauge(
+            "repro_breaker_events",
+            "Per-checker circuit-breaker lifetime counters "
+            "(harvested at scrape time).",
+            labelnames=("checker", "event"),
+        )
+        journal_events = registry.gauge(
+            "repro_journal_events",
+            "Crash-safe verdict-journal counters (recovery, appends, "
+            "compactions, errors).",
+            labelnames=("event",),
+        )
+        batch_events = registry.gauge(
+            "repro_batch_resilience_events",
+            "Process-pool batch resilience counters (pool rebuilds, unit "
+            "retries/bisections, abandoned units).",
+            labelnames=("event",),
+        )
+        # Pre-touch one series per family so every resilience family renders
+        # on the very first scrape (matching the canonicalization/rewrite
+        # behaviour the dashboards rely on).
+        journal_events.set(0.0, event="write_errors")
+
+        def _collect_resilience() -> None:
+            breakers = self.manager.breakers
+            if breakers is not None:
+                # Materialize a breaker per configured checker so the state
+                # gauges render (closed) from the very first scrape.
+                for name in self.manager.portfolio:
+                    breakers.breaker(name)
+                for name, snap in breakers.snapshot().items():
+                    breaker_state.set(
+                        float(STATE_VALUES[snap["state"]]), checker=name
+                    )
+                    for event in (
+                        "failures",
+                        "successes",
+                        "opens",
+                        "closes",
+                        "probes",
+                        "rejections",
+                    ):
+                        breaker_events.set(
+                            float(snap[event]), checker=name, event=event
+                        )
+            cache = self.manager.verdict_cache
+            if cache is not None:
+                stats = cache.statistics()
+                journal_events.set(
+                    float(stats["journal_errors"]), event="write_errors"
+                )
+                journal = stats.get("journal")
+                if journal is not None:
+                    for event in (
+                        "recovered",
+                        "dropped",
+                        "legacy",
+                        "truncated_bytes",
+                        "appends",
+                        "compactions",
+                    ):
+                        journal_events.set(float(journal[event]), event=event)
+            for event, value in self.manager.batch_statistics().items():
+                batch_events.set(float(value), event=event)
+
+        registry.add_collector(_collect_resilience)
+
     # ------------------------------------------------------------------
     # job lifecycle
     # ------------------------------------------------------------------
@@ -281,8 +376,12 @@ class VerificationService:
 
         Raises :class:`ServiceError` 429 (with ``retry_after``) when a
         configured ``queue_limit`` is reached — coalesced submissions are
-        exempt, they consume no queue slot.
+        exempt, they consume no queue slot — and 503 (with ``Retry-After``)
+        while the service is draining for shutdown.
         """
+        # Submit-site fault injection (no-op without a plan): "reject"
+        # simulates a 429/503 storm, "sleep" a black-holed submission.
+        self.manager.fault_injector.fire("submit")
         fingerprint = pair_fingerprint(first, second, self.configuration)
         with self._lock:
             self.submitted += 1
@@ -298,6 +397,20 @@ class VerificationService:
                     "fingerprint": fingerprint,
                     "coalesced": True,
                 }
+            if self._draining:
+                self.rejected += 1
+                self._m_rejected.inc(reason="draining")
+                raise ServiceError(
+                    "service is draining for shutdown; resubmit elsewhere or "
+                    "retry later",
+                    status=503,
+                    retry_after=max(
+                        1.0,
+                        math.ceil(
+                            self._active / max(1, self.configuration.max_workers)
+                        ),
+                    ),
+                )
             if self.queue_limit is not None and self._active >= self.queue_limit:
                 self.rejected += 1
                 self._m_rejected.inc(reason="backpressure")
@@ -346,18 +459,36 @@ class VerificationService:
             job.started_at = time.time()
         result_payload: dict | None = None
         error_text: str | None = None
-        try:
-            # The submission path already fingerprinted the pair for dedup;
-            # hand the digest to the manager so a cache hit does not pay for
-            # a second canonicalization pass.
-            result = self.manager.run(first, second, fingerprint=job.fingerprint)
-            result_payload = {
-                "first": job.name_first,
-                "second": job.name_second,
-                **result.to_json(),
-            }
-        except Exception as error:  # noqa: BLE001 - isolate per-job failures
-            error_text = f"{type(error).__name__}: {error}"
+        # Per-job retry budget: a checker-level crash (the portfolio run
+        # *raising*, not concluding) is usually transient — a dying worker,
+        # an injected fault, a resource spike — and worth a bounded, backed-
+        # off re-run before the job settles as failed.
+        retries_left = self.job_retries
+        policy = RetryPolicy(
+            attempts=self.job_retries, base=0.02, cap=0.5, rng=random.Random(0)
+        )
+        while True:
+            try:
+                # The submission path already fingerprinted the pair for
+                # dedup; hand the digest to the manager so a cache hit does
+                # not pay for a second canonicalization pass.
+                result = self.manager.run(first, second, fingerprint=job.fingerprint)
+                result_payload = {
+                    "first": job.name_first,
+                    "second": job.name_second,
+                    **result.to_json(),
+                }
+                error_text = None
+                break
+            except Exception as error:  # noqa: BLE001 - isolate per-job failures
+                error_text = f"{type(error).__name__}: {error}"
+                if retries_left <= 0:
+                    break
+                retries_left -= 1
+                with self._lock:
+                    self.job_retries_performed += 1
+                self._m_job_retries.inc()
+                policy.backoff()
         # Settle the job: every field a reader can observe changes under the
         # lock, in one critical section — a concurrent ``job_status`` sees
         # either the running job or the fully settled one, never a torn
@@ -513,6 +644,86 @@ class VerificationService:
         with self._lock:
             return self._active
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def health(self) -> dict:
+        """Machine-readable liveness/readiness payload for ``GET /healthz``.
+
+        Always ``ok: True`` (the process is alive and answering — fleet
+        supervisors must not kill a degraded-but-serving instance), but
+        ``status`` distinguishes ``healthy`` from ``degraded`` and
+        ``reasons`` lists exactly what degraded it: open circuit breakers,
+        a verdict journal that fell back to memory-only, a saturated queue,
+        or an in-progress drain.
+        """
+        from repro import __version__
+
+        reasons: list[str] = []
+        breakers = self.manager.breakers
+        if breakers is not None:
+            for name in breakers.quarantined():
+                reasons.append(f"circuit breaker open: checker {name!r} quarantined")
+        cache = self.manager.verdict_cache
+        if cache is not None:
+            stats = cache.statistics()
+            if stats["journal_errors"]:
+                reasons.append(
+                    "verdict journal degraded to memory-only after "
+                    f"{stats['journal_errors']} write error(s)"
+                )
+        with self._lock:
+            active = self._active
+            draining = self._draining
+        if self.queue_limit is not None and active >= self.queue_limit:
+            reasons.append(
+                f"job queue saturated ({active}/{self.queue_limit} unsettled jobs)"
+            )
+        if draining:
+            reasons.append("draining: new submissions are rejected with 503")
+        return {
+            "ok": True,
+            "version": __version__,
+            "status": "degraded" if reasons else "healthy",
+            "reasons": reasons,
+            "draining": draining,
+        }
+
+    # ------------------------------------------------------------------
+    # graceful drain
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop accepting new submissions (503 + Retry-After); keep serving."""
+        with self._lock:
+            self._draining = True
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Gracefully wind down: reject new work, finish in-flight jobs.
+
+        Blocks until every queued/running job settles or ``timeout`` seconds
+        pass, then flushes the verdict journal either way.  Status and
+        result endpoints keep answering throughout (and after), so clients
+        can still collect verdicts for jobs that finished during the drain.
+        Returns True when the queue fully drained in time.
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + max(0.0, timeout)
+        drained = False
+        while True:
+            with self._lock:
+                if self._active == 0:
+                    drained = True
+                    break
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.02)
+        cache = self.manager.verdict_cache
+        if cache is not None:
+            cache.flush()
+        return drained
+
     def stats(self) -> dict:
         from repro import __version__
 
@@ -521,6 +732,7 @@ class VerificationService:
             for job in self._jobs.values():
                 by_status[job.status] = by_status.get(job.status, 0) + 1
             cache = self.manager.verdict_cache
+            cache_stats = cache.statistics() if cache is not None else None
             return {
                 "version": __version__,
                 "uptime": time.time() - self._started_at,
@@ -535,7 +747,7 @@ class VerificationService:
                 "in_flight": len(self._in_flight),
                 "pruned": len(self._pruned),
                 "jobs": by_status,
-                "cache": cache.statistics() if cache is not None else None,
+                "cache": cache_stats,
                 "canonicalization": {
                     "enabled": self.configuration.canonicalize,
                     "cache_hits": int(
@@ -565,6 +777,20 @@ class VerificationService:
                         )
                         for key in _REWRITE_COUNTER_KEYS
                     },
+                },
+                "resilience": {
+                    "draining": self._draining,
+                    "job_retries": self.job_retries,
+                    "job_retries_performed": self.job_retries_performed,
+                    "breakers": (
+                        self.manager.breakers.snapshot()
+                        if self.manager.breakers is not None
+                        else None
+                    ),
+                    "batch": self.manager.batch_statistics(),
+                    "journal": (
+                        cache_stats.get("journal") if cache_stats is not None else None
+                    ),
                 },
             }
 
@@ -668,9 +894,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             if parts == ["stats"]:
                 return 200, self.service.stats()
             if parts == ["healthz"]:
-                from repro import __version__
-
-                return 200, {"ok": True, "version": __version__}
+                return 200, self.service.health()
             if len(parts) == 2 and parts[0] == "jobs":
                 return 200, self.service.job_status(parts[1])
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
@@ -767,7 +991,19 @@ class VerificationServer(ThreadingHTTPServer):
         self._serving.wait(timeout=5.0)
         return thread
 
-    def close(self) -> None:
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Stop accepting new jobs, finish in-flight ones (up to ``timeout``).
+
+        The HTTP listener keeps answering throughout — new submissions get
+        503 + ``Retry-After``, status/result/metrics stay live — so clients
+        can collect verdicts for work already accepted.
+        """
+        return self.service.drain(timeout)
+
+    def close(self, drain_timeout: float = 0.0) -> None:
+        """Shut down; with ``drain_timeout > 0`` drain gracefully first."""
+        if drain_timeout > 0:
+            self.service.drain(drain_timeout)
         # shutdown() blocks on an event only serve_forever sets; skip it for
         # a server that was constructed but never served.
         if self._serving.is_set():

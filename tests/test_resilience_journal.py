@@ -1,0 +1,243 @@
+"""Crash-safe journal: framing, recovery, compaction, and hypothesis properties."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.journal import CrashSafeJournal
+
+
+def _records(n):
+    return [{"fingerprint": f"fp{i}", "value": i} for i in range(n)]
+
+
+def _write(path, records):
+    journal = CrashSafeJournal(path, key=lambda r: r.get("fingerprint"))
+    for record in records:
+        journal.append(record)
+    return journal
+
+
+class TestRoundTrip:
+    def test_append_then_replay(self, tmp_path):
+        path = tmp_path / "journal.log"
+        _write(path, _records(5))
+        replayed = CrashSafeJournal(path).replay()
+        assert replayed == _records(5)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "journal.log"
+        CrashSafeJournal(path)
+        assert path.exists()
+
+    def test_latest_view_keeps_last_record_per_key(self, tmp_path):
+        path = tmp_path / "journal.log"
+        journal = CrashSafeJournal(path, key=lambda r: r["fingerprint"])
+        journal.append({"fingerprint": "a", "value": 1})
+        journal.append({"fingerprint": "b", "value": 2})
+        journal.append({"fingerprint": "a", "value": 3})
+        assert journal.latest == {
+            "a": {"fingerprint": "a", "value": 3},
+            "b": {"fingerprint": "b", "value": 2},
+        }
+
+    def test_statistics_counters(self, tmp_path):
+        path = tmp_path / "journal.log"
+        journal = _write(path, _records(3))
+        stats = journal.statistics()
+        assert stats["appends"] == 3
+        assert stats["append_errors"] == 0
+        assert stats["size_bytes"] > 0
+
+
+class TestRecovery:
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "journal.log"
+        _write(path, _records(3))
+        good_size = path.stat().st_size
+        with path.open("ab") as handle:
+            handle.write(b"R 999 deadbeef {\"torn")  # no newline: torn append
+        journal = CrashSafeJournal(path)
+        assert journal.replay() == _records(3)
+        stats = journal.statistics()
+        assert stats["recovered"] == 3
+        assert stats["dropped"] == 1
+        assert stats["truncated_bytes"] > 0
+        assert path.stat().st_size == good_size
+
+    def test_corrupt_middle_record_is_dropped_not_truncated(self, tmp_path):
+        path = tmp_path / "journal.log"
+        _write(path, _records(3))
+        data = path.read_bytes()
+        lines = data.split(b"\n")
+        lines[1] = b"R 12 00000000 garbagegarba"  # bad CRC, framed length ok
+        path.write_bytes(b"\n".join(lines))
+        journal = CrashSafeJournal(path)
+        replayed = journal.replay()
+        assert replayed == [_records(3)[0], _records(3)[2]]
+        stats = journal.statistics()
+        assert stats["dropped"] == 1
+        # The good record after the corruption must survive on disk.
+        assert _records(3)[2] in CrashSafeJournal(path).replay()
+
+    def test_truncation_can_be_disabled(self, tmp_path):
+        path = tmp_path / "journal.log"
+        _write(path, _records(2))
+        with path.open("ab") as handle:
+            handle.write(b"torn-without-newline")
+        size = path.stat().st_size
+        journal = CrashSafeJournal(path, truncate_torn_tail=False)
+        assert journal.replay() == _records(2)
+        assert path.stat().st_size == size
+
+    def test_legacy_bare_json_lines_replay(self, tmp_path):
+        path = tmp_path / "journal.log"
+        with path.open("wb") as handle:
+            for record in _records(3):
+                handle.write(json.dumps(record).encode() + b"\n")
+        journal = CrashSafeJournal(path)
+        assert journal.replay() == _records(3)
+        assert journal.statistics()["legacy"] == 3
+
+    def test_mixed_legacy_and_framed(self, tmp_path):
+        path = tmp_path / "journal.log"
+        with path.open("wb") as handle:
+            handle.write(json.dumps({"fingerprint": "old"}).encode() + b"\n")
+        journal = CrashSafeJournal(path, key=lambda r: r.get("fingerprint"))
+        journal.replay()
+        journal.append({"fingerprint": "new"})
+        replayed = CrashSafeJournal(path).replay()
+        assert replayed == [{"fingerprint": "old"}, {"fingerprint": "new"}]
+
+    def test_blank_lines_are_harmless(self, tmp_path):
+        path = tmp_path / "journal.log"
+        _write(path, _records(1))
+        with path.open("ab") as handle:
+            handle.write(b"\n\n")
+        journal = CrashSafeJournal(path)
+        assert journal.replay() == _records(1)
+        assert journal.statistics()["dropped"] == 0
+
+    def test_replay_never_raises_on_binary_garbage(self, tmp_path):
+        path = tmp_path / "journal.log"
+        path.write_bytes(bytes(range(256)) * 4)
+        journal = CrashSafeJournal(path)
+        assert journal.replay() == []
+
+
+class TestCompaction:
+    def test_size_triggered_compaction_keeps_last_per_key(self, tmp_path):
+        path = tmp_path / "journal.log"
+        journal = CrashSafeJournal(
+            path, key=lambda r: r["fingerprint"], max_bytes=256
+        )
+        for i in range(50):
+            journal.append({"fingerprint": f"fp{i % 3}", "value": i})
+        stats = journal.statistics()
+        assert stats["compactions"] >= 1
+        assert stats["size_bytes"] <= 512  # 3 live keys, not 50 records
+        replayed = CrashSafeJournal(path, key=lambda r: r["fingerprint"]).replay()
+        values = {r["fingerprint"]: r["value"] for r in replayed}
+        assert values == {"fp0": 48, "fp1": 49, "fp2": 47}
+
+    def test_compaction_requires_key(self, tmp_path):
+        journal = CrashSafeJournal(tmp_path / "journal.log")
+        with pytest.raises(RuntimeError):
+            journal.compact()
+
+
+class TestWriteFailures:
+    def test_write_hook_failure_counts_and_raises(self, tmp_path):
+        calls = []
+
+        def hook():
+            calls.append(1)
+            raise OSError("injected")
+
+        journal = CrashSafeJournal(tmp_path / "journal.log", write_hook=hook)
+        with pytest.raises(OSError):
+            journal.append({"fingerprint": "x"})
+        assert calls == [1]
+
+    def test_flush_is_best_effort(self, tmp_path):
+        journal = _write(tmp_path / "journal.log", _records(1))
+        journal.flush()  # must not raise
+
+
+# ----------------------------------------------------------------------
+# hypothesis: recovery at arbitrary byte offsets (satellite 4)
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_records=st.integers(min_value=1, max_value=8),
+    cut=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_truncation_at_any_byte_offset_recovers_the_intact_prefix(
+    tmp_path_factory, num_records, cut
+):
+    """Crash mid-append == the file ends at an arbitrary byte offset.
+
+    Every record wholly before the cut must be recovered; nothing may raise;
+    recovered + dropped must account for every line-shaped region.
+    """
+    path = tmp_path_factory.mktemp("journal") / "journal.log"
+    records = _records(num_records)
+    _write(path, records)
+    data = path.read_bytes()
+    offset = int(round(cut * len(data)))
+    path.write_bytes(data[:offset])
+
+    # Which records are wholly intact before the cut?
+    boundaries, pos = [], 0
+    while True:
+        newline = data.find(b"\n", pos)
+        if newline == -1:
+            break
+        boundaries.append(newline + 1)
+        pos = newline + 1
+    intact = sum(1 for end in boundaries if end <= offset)
+
+    journal = CrashSafeJournal(path, key=lambda r: r.get("fingerprint"))
+    replayed = journal.replay()
+    assert replayed == records[:intact]
+    stats = journal.statistics()
+    assert stats["recovered"] == intact
+    # A torn tail (if any) is exactly one dropped partial region.
+    tail_start = boundaries[intact - 1] if intact else 0
+    assert stats["dropped"] == (1 if offset > tail_start else 0)
+    # After truncation the file replays clean.
+    again = CrashSafeJournal(path)
+    assert again.replay() == records[:intact]
+    assert again.statistics()["dropped"] == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_records=st.integers(min_value=2, max_value=8),
+    position=st.floats(min_value=0.0, max_value=1.0),
+    flip=st.integers(min_value=1, max_value=255),
+)
+def test_single_flipped_byte_never_crashes_and_loses_at_most_two_records(
+    tmp_path_factory, num_records, position, flip
+):
+    """A flipped byte anywhere corrupts at most its record — or merges two
+    neighbours when the flipped byte *is* a record separator."""
+    path = tmp_path_factory.mktemp("journal") / "journal.log"
+    records = _records(num_records)
+    _write(path, records)
+    data = bytearray(path.read_bytes())
+    offset = min(int(position * len(data)), len(data) - 1)
+    data[offset] ^= flip
+    path.write_bytes(bytes(data))
+
+    journal = CrashSafeJournal(path)
+    replayed = journal.replay()  # must not raise
+    assert len(replayed) >= num_records - 2
+    # Whatever survived is genuine, uncorrupted content, in order.
+    assert all(record in records for record in replayed)
+    indices = [records.index(record) for record in replayed]
+    assert indices == sorted(indices)
