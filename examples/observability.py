@@ -1,0 +1,140 @@
+"""Observability: tracing, structured logs, and the run-telemetry journal.
+
+PR 10 threads a stdlib-only observability layer through every subsystem:
+
+* **Tracing** (``repro.obs.trace``) — contextvars-based spans around every
+  manager run, scheduler decision, checker attempt, cache lookup and
+  journal write.  Spans cross the process-pool boundary (workers ship
+  their spans home inside work-unit results) and the HTTP boundary (W3C
+  ``traceparent`` headers), and export as a span tree or as Chrome
+  trace-event JSON for chrome://tracing / Perfetto.
+* **Structured logging** (``repro.obs.logs``) — one JSON object per line,
+  automatically correlated with the active span (``trace_id``/``span_id``
+  fields), silent until ``configure_logging`` opts in.
+* **Run telemetry** (``repro.obs.telemetry``) — every settled verification
+  appends a record (verdict, schedule, per-checker timings, cache
+  provenance) to a crash-safe journal; ``summarize`` aggregates a fleet's
+  history — the observation substrate for a learned scheduler.
+
+Run with ``python examples/observability.py``.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.algorithms import ghz_ladder, ghz_with_bug
+from repro.core import Configuration, EquivalenceCheckingManager
+from repro.obs import trace
+from repro.obs.logs import configure_logging
+from repro.obs.telemetry import TelemetryJournal
+
+
+def _render(node: dict, depth: int = 0) -> None:
+    attrs = node.get("attrs") or {}
+    checker = f" [{attrs['checker']}]" if "checker" in attrs else ""
+    print(f"  {'  ' * depth}{node['name']}{checker}  {node['duration'] * 1e3:.1f}ms")
+    for child in node["children"]:
+        _render(child, depth + 1)
+
+
+def trace_a_batch(workdir: Path) -> None:
+    """Span tree of a seeded batch, then a Chrome trace-event export."""
+    print("=" * 72)
+    print("1. tracing: span tree of a verified batch")
+    print("=" * 72)
+    manager = EquivalenceCheckingManager(
+        Configuration(seed=42, verdict_cache=False)
+    )
+    pairs = [
+        (ghz_ladder(3), ghz_ladder(3)),
+        (ghz_ladder(3), ghz_with_bug(3)),
+    ]
+    tracer = trace.Tracer()
+    with trace.activate(tracer):
+        batch = manager.verify_batch(pairs)
+    print(f"verdicts: {[e.result.criterion.value for e in batch.entries]}")
+    for root in trace.span_tree(tracer.export()):
+        _render(root)
+
+    chrome_path = workdir / "batch.chrome.json"
+    chrome = trace.export_chrome(tracer.export())
+    chrome_path.write_text(json.dumps(chrome), encoding="utf-8")
+    print(f"\nChrome trace-event file: {len(chrome['traceEvents'])} events")
+    print("(load it in chrome://tracing or https://ui.perfetto.dev)")
+
+
+def structured_logs(workdir: Path) -> None:
+    """JSON-lines log of a breaker opening, correlated with the trace."""
+    print()
+    print("=" * 72)
+    print("2. structured logging: a circuit breaker opens, the log says why")
+    print("=" * 72)
+    from repro.resilience import FaultPlan, FaultRule
+
+    log_path = workdir / "run.log"
+    configure_logging(level="info", path=str(log_path))
+    manager = EquivalenceCheckingManager(
+        Configuration(
+            portfolio=("simulation", "alternating"),
+            seed=3,
+            verdict_cache=False,
+            breaker_threshold=2,
+            breaker_cooldown=60.0,
+            fault_plan=FaultPlan(
+                rules=(FaultRule(site="checker", target="simulation", times=0),)
+            ),
+        )
+    )
+    tracer = trace.Tracer()
+    with trace.activate(tracer):
+        for _ in range(3):
+            result = manager.run(ghz_ladder(3), ghz_ladder(3))
+    print(f"last verdict (simulation quarantined): {result.criterion.value}")
+    print("\nlog tail:")
+    for line in log_path.read_text(encoding="utf-8").splitlines()[-3:]:
+        event = json.loads(line)
+        correlated = "trace_id" in event
+        print(
+            f"  level={event['level']} logger={event['logger']} "
+            f"message={event['message']!r} trace-correlated={correlated}"
+        )
+
+
+def run_telemetry(workdir: Path) -> None:
+    """Every settled run leaves a journal record; summarize the history."""
+    print()
+    print("=" * 72)
+    print("3. run telemetry: the journal remembers every verdict")
+    print("=" * 72)
+    telemetry_path = workdir / "runs.telemetry.jsonl"
+    manager = EquivalenceCheckingManager(
+        Configuration(
+            seed=7, verdict_cache=True, telemetry_path=str(telemetry_path)
+        )
+    )
+    manager.run(ghz_ladder(3), ghz_ladder(3))
+    manager.run(ghz_ladder(3), ghz_with_bug(3))
+    manager.run(ghz_ladder(3), ghz_ladder(3))  # verdict-cache hit
+
+    summary = TelemetryJournal(telemetry_path).summarize()
+    print(f"runs: {summary['runs']}  verdicts: {summary['verdicts']}")
+    print(f"cache: {summary['cache']}")
+    for name, stats in sorted(summary["checkers"].items()):
+        print(
+            f"  {name}: attempts={stats['attempts']} "
+            f"decisions={stats['decisions']} mean={stats['mean_time']:.4f}s"
+        )
+    print("(same data: repro-qcec telemetry summarize runs.telemetry.jsonl)")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        trace_a_batch(workdir)
+        structured_logs(workdir)
+        run_telemetry(workdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,9 +16,15 @@ Usage (after ``pip install -e .``)::
     repro-qcec verify-behaviour static.qasm dynamic.qasm
     repro-qcec extract dynamic.qasm --backend dd
     repro-qcec show circuit.qasm
+    repro-qcec verify a.qasm b.qasm --json > out.json && repro-qcec trace out.json
+    repro-qcec telemetry summarize runs.telemetry.jsonl
     repro-qcec --version
 
 or equivalently ``python -m repro.cli ...``.
+
+Every command accepts ``--log-level``/``--log-file`` (JSON-lines structured
+logs on stderr or to a file); ``verify``, ``batch`` and ``serve`` accept
+``--telemetry PATH`` to append one journal record per settled run.
 
 The ``batch`` manifest is a text file with one circuit pair per line (two
 whitespace-separated QASM paths, relative paths resolved against the manifest's
@@ -49,6 +55,8 @@ from repro.core import (
     extract_distribution,
 )
 from repro.exceptions import ReproError
+from repro.obs import trace
+from repro.obs.logs import configure_logging
 
 __all__ = ["build_parser", "main"]
 
@@ -73,8 +81,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # Structured-logging options shared by every subcommand.  Logs go to
+    # stderr (or --log-file) as JSON lines, keeping stdout payloads clean.
+    logging_options = argparse.ArgumentParser(add_help=False)
+    logging_options.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="emit JSON-lines structured logs at this level (default: off)",
+    )
+    logging_options.add_argument(
+        "--log-file",
+        default=None,
+        metavar="PATH",
+        help="append structured logs to this file instead of stderr "
+        "(implies --log-level info unless given)",
+    )
+
     verify = subparsers.add_parser(
-        "verify", help="full functional verification (Scheme 1 for dynamic circuits)"
+        "verify",
+        help="full functional verification (Scheme 1 for dynamic circuits)",
+        parents=[logging_options],
     )
     verify.add_argument("first", help="OpenQASM 2 file of the first circuit")
     verify.add_argument("second", help="OpenQASM 2 file of the second circuit")
@@ -155,11 +182,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--verdict-cache; verdicts survive across invocations)"
         ),
     )
-    verify.add_argument("--json", action="store_true", help="print the result as JSON")
+    verify.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append one run-telemetry journal record per settled run",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as JSON (includes the span tree of the run "
+        "under 'trace' for portfolio runs)",
+    )
 
     batch = subparsers.add_parser(
         "batch",
         help="verify many circuit pairs concurrently from a manifest file",
+        parents=[logging_options],
     )
     batch.add_argument(
         "manifest",
@@ -254,11 +293,18 @@ def build_parser() -> argparse.ArgumentParser:
             "verdict-cache lookups (default: on; see 'verify --canonicalize')"
         ),
     )
+    batch.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append one run-telemetry journal record per settled run",
+    )
     batch.add_argument("--json", action="store_true")
 
     serve = subparsers.add_parser(
         "serve",
         help="run the HTTP verification job-queue server (submit/status/result/stats)",
+        parents=[logging_options],
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
@@ -359,10 +405,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="on SIGTERM, stop accepting (503 + Retry-After) and finish "
         "in-flight jobs for up to this long before exiting (0 disables)",
     )
+    serve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append one run-telemetry journal record per settled run "
+        "(summaries appear under 'telemetry' in GET /stats)",
+    )
 
     behaviour = subparsers.add_parser(
         "verify-behaviour",
         help="compare measurement-outcome distributions for the |0...0> input (Scheme 2)",
+        parents=[logging_options],
     )
     behaviour.add_argument("first")
     behaviour.add_argument("second")
@@ -371,15 +425,49 @@ def build_parser() -> argparse.ArgumentParser:
     behaviour.add_argument("--json", action="store_true")
 
     extract = subparsers.add_parser(
-        "extract", help="extract the measurement-outcome distribution of one circuit"
+        "extract",
+        help="extract the measurement-outcome distribution of one circuit",
+        parents=[logging_options],
     )
     extract.add_argument("circuit")
     extract.add_argument("--backend", default="statevector", choices=["statevector", "dd"])
     extract.add_argument("--initial-state", default=None, help="bitstring input state (default |0...0>)")
     extract.add_argument("--json", action="store_true")
 
-    show = subparsers.add_parser("show", help="print a summary and drawing of a circuit")
+    show = subparsers.add_parser(
+        "show",
+        help="print a summary and drawing of a circuit",
+        parents=[logging_options],
+    )
     show.add_argument("circuit")
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="convert recorded spans to Chrome trace-event JSON "
+        "(chrome://tracing, https://ui.perfetto.dev)",
+        parents=[logging_options],
+    )
+    trace_cmd.add_argument(
+        "file",
+        help="JSON file: 'verify --json' output, a GET /jobs/<id>/trace "
+        "payload, or a raw span list",
+    )
+    trace_cmd.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="write the trace-event JSON here (default: stdout)",
+    )
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="inspect a run-telemetry journal written via --telemetry",
+        parents=[logging_options],
+    )
+    telemetry.add_argument("action", choices=["summarize"])
+    telemetry.add_argument("path", help="telemetry journal file")
+    telemetry.add_argument("--json", action="store_true")
     return parser
 
 
@@ -447,6 +535,7 @@ def _command_verify(args: argparse.Namespace) -> int:
         verdict_cache=args.verdict_cache,
         cache_path=args.cache_path,
         canonicalize=True if args.canonicalize is None else args.canonicalize,
+        telemetry_path=args.telemetry,
     )
     if configuration.cache_enabled:
         # Cache consultation happens in the manager; route through it.
@@ -462,9 +551,13 @@ def _command_verify(args: argparse.Namespace) -> int:
         if args.portfolio is None and args.method != "alternating":
             configuration = configuration.updated(portfolio=(args.method,))
         return _verify_with_portfolio(first, second, configuration, args)
-    if args.timeout is not None or args.checker_timeout is not None:
-        # Timeouts are enforced by the manager; run the single method as a
-        # one-checker portfolio so the budget actually applies.
+    if (
+        args.timeout is not None
+        or args.checker_timeout is not None
+        or args.telemetry is not None
+    ):
+        # Timeouts and run telemetry are enforced by the manager; run the
+        # single method as a one-checker portfolio so they actually apply.
         configuration = configuration.updated(portfolio=(args.method,))
         return _verify_with_portfolio(first, second, configuration, args)
     result = check_equivalence(first, second, configuration)
@@ -493,9 +586,13 @@ def _command_verify(args: argparse.Namespace) -> int:
 
 def _verify_with_portfolio(first, second, configuration: Configuration, args) -> int:
     manager = EquivalenceCheckingManager(configuration)
-    result = manager.run(first, second)
+    tracer = trace.Tracer()
+    with trace.activate(tracer):
+        result = manager.run(first, second)
     if args.json:
-        print(json.dumps(_portfolio_payload(first.name, second.name, result)))
+        payload = _portfolio_payload(first.name, second.name, result)
+        payload["trace"] = {"trace_id": tracer.trace_id, "tree": tracer.tree()}
+        print(json.dumps(payload))
     else:
         print(f"{first.name} vs {second.name}: {result.criterion.value}")
         print(
@@ -552,6 +649,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         verdict_cache=args.verdict_cache,
         cache_path=args.cache_path,
         canonicalize=True if args.canonicalize is None else args.canonicalize,
+        telemetry_path=args.telemetry,
     )
     manager = EquivalenceCheckingManager(configuration)
     batch = manager.verify_batch(circuits)
@@ -656,6 +754,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         gate_cache_size=args.gate_cache_size,
         gate_cache_ttl=args.gate_cache_ttl,
+        telemetry_path=args.telemetry,
     )
     if args.backend == "async":
         server = AsyncVerificationServer(
@@ -782,6 +881,90 @@ def _command_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flatten_span_nodes(nodes: list) -> list[dict]:
+    """Flatten ``span_tree`` nodes (or already-flat span dicts) to a list."""
+    flat: list[dict] = []
+    for node in nodes:
+        if not isinstance(node, dict):
+            continue
+        flat.append({key: value for key, value in node.items() if key != "children"})
+        children = node.get("children")
+        if isinstance(children, list):
+            flat.extend(_flatten_span_nodes(children))
+    return flat
+
+
+def _extract_spans(payload) -> list[dict]:
+    """Spans from any supported trace container (see the ``trace`` command)."""
+    if isinstance(payload, list):
+        return _flatten_span_nodes(payload)
+    if isinstance(payload, dict):
+        for key in ("trace", "tree", "spans"):
+            value = payload.get(key)
+            if isinstance(value, dict):
+                # 'verify --json' nests {"trace_id": ..., "tree": [...]}.
+                inner = value.get("tree")
+                if isinstance(inner, list):
+                    return _flatten_span_nodes(inner)
+            if isinstance(value, list):
+                return _flatten_span_nodes(value)
+    return []
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    try:
+        payload = json.loads(Path(args.file).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        print(f"error: {args.file!r} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    spans = _extract_spans(payload)
+    if not spans:
+        print(
+            f"error: no spans found in {args.file!r} (expected 'verify --json' "
+            "output, a /jobs/<id>/trace payload, or a span list)",
+            file=sys.stderr,
+        )
+        return 2
+    text = json.dumps(trace.export_chrome(spans))
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {len(spans)} span(s) to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _command_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import TelemetryJournal
+
+    if not Path(args.path).exists():
+        print(f"error: no telemetry journal at {args.path!r}", file=sys.stderr)
+        return 2
+    summary = TelemetryJournal(args.path).summarize()
+    if args.json:
+        print(json.dumps(summary))
+        return 0
+    print(f"runs: {summary['runs']} (total {summary['total_time']:.6f}s)")
+    for title, counts in (
+        ("verdicts", summary["verdicts"]),
+        ("schedulers", summary["schedulers"]),
+        ("cache", summary["cache"]),
+    ):
+        if counts:
+            rendered = ", ".join(f"{key}={value}" for key, value in sorted(counts.items()))
+            print(f"{title}: {rendered}")
+    for name in sorted(summary["checkers"]):
+        stats = summary["checkers"][name]
+        statuses = ", ".join(
+            f"{key}={value}" for key, value in sorted(stats["statuses"].items())
+        )
+        print(
+            f"  {name}: attempts={stats['attempts']} decisions={stats['decisions']} "
+            f"mean={stats['mean_time']:.6f}s [{statuses}]"
+        )
+    return 0
+
+
 _COMMANDS = {
     "verify": _command_verify,
     "batch": _command_batch,
@@ -789,6 +972,8 @@ _COMMANDS = {
     "verify-behaviour": _command_verify_behaviour,
     "extract": _command_extract,
     "show": _command_show,
+    "trace": _command_trace,
+    "telemetry": _command_telemetry,
 }
 
 
@@ -796,6 +981,8 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None) is not None or getattr(args, "log_file", None):
+        configure_logging(level=args.log_level, path=args.log_file)
     try:
         return _COMMANDS[args.command](args)
     except FileNotFoundError as error:

@@ -172,6 +172,16 @@ class Configuration:
         suite; ``None`` — the only supported production value — makes every
         injection point a no-op.  Not fingerprinted: injected faults must
         never leak into cache keys.
+    telemetry_path:
+        Path of the run-telemetry journal
+        (:class:`~repro.obs.telemetry.TelemetryJournal`): every settled run
+        appends one crash-safe record (features, schedule, per-checker
+        timings and outcomes, verdict, cache provenance) — the training
+        substrate for a learned scheduler.  ``None`` (the default) disables
+        telemetry.  Deliberately *not* part of the fingerprinted
+        configuration fields — observing a run never changes its verdict —
+        and forced off inside process-pool workers, whose records the
+        parent writes after reassembly.
     """
 
     method: str = "alternating"
@@ -201,6 +211,7 @@ class Configuration:
     breaker_cooldown: float = 30.0
     batch_retries: int = 2
     fault_plan: FaultPlan | None = None
+    telemetry_path: str | None = None
 
     def __post_init__(self) -> None:
         known_checkers = _registered_checkers()
@@ -279,6 +290,8 @@ class Configuration:
             raise ConfigurationError(
                 f"fault_plan must be a FaultPlan (or None), got {self.fault_plan!r}"
             )
+        if self.telemetry_path is not None and not str(self.telemetry_path).strip():
+            raise ConfigurationError("telemetry_path must be a non-empty path (or None)")
 
     @property
     def cache_enabled(self) -> bool:

@@ -43,6 +43,7 @@ True
 from __future__ import annotations
 
 import concurrent.futures
+import contextvars
 import random
 import threading
 import time
@@ -65,9 +66,13 @@ from repro.core.results import (
 from repro.core.scheduler import Schedule, deprioritize, resolve_scheduler
 from repro.core.transformation import to_unitary_circuit
 from repro.core.workers import BatchWorkUnit, chunk_pairs, verify_work_unit
+from repro.obs import trace
+from repro.obs.logs import fields, get_logger
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy
+
+_log = get_logger("core.manager")
 
 __all__ = [
     "DEFAULT_PORTFOLIO",
@@ -162,6 +167,22 @@ class EquivalenceCheckingManager:
             if configuration.breaker_threshold is not None
             else None
         )
+        # Run-telemetry journal (repro.obs.telemetry): one crash-safe record
+        # per settled run — features, schedule, per-checker timings, verdict,
+        # cache provenance — the training substrate for a learned scheduler.
+        if configuration.telemetry_path is not None:
+            from repro.obs.telemetry import TelemetryJournal
+
+            self.telemetry = TelemetryJournal(
+                configuration.telemetry_path,
+                write_hook=(
+                    self.fault_injector.hook("journal", "telemetry")
+                    if self.fault_injector.active
+                    else None
+                ),
+            )
+        else:
+            self.telemetry = None
         self._batch_stats_lock = threading.Lock()
         self._batch_stats = {
             "pool_rebuilds": 0,
@@ -169,6 +190,11 @@ class EquivalenceCheckingManager:
             "unit_bisections": 0,
             "abandoned_units": 0,
         }
+        # Per-checker decision-diagram cache statistics accumulated across
+        # runs — fed from in-process attempts and from process-pool work-unit
+        # results (whose worker-side state dies with the pool).
+        self._dd_stats_lock = threading.Lock()
+        self._dd_stats: dict[str, dict] = {}
 
     @property
     def portfolio(self) -> tuple[str, ...]:
@@ -222,6 +248,34 @@ class EquivalenceCheckingManager:
         fingerprints every submission for dedup; recomputing here would
         double the dominant cost of a cache hit).
         """
+        with trace.span(
+            "manager.run",
+            first=getattr(first, "name", None),
+            second=getattr(second, "name", None),
+        ) as run_span:
+            result, fingerprint = self._run_cached(
+                first,
+                second,
+                qubit_permutation=qubit_permutation,
+                schedule=schedule,
+                fingerprint=fingerprint,
+            )
+            run_span.set_attr("criterion", result.criterion.value)
+            if result.cached:
+                run_span.set_attr("cached_via", result.cached_via)
+            self._record_telemetry(result, fingerprint)
+            return result
+
+    def _run_cached(
+        self,
+        first: QuantumCircuit,
+        second: QuantumCircuit,
+        *,
+        qubit_permutation: dict[int, int] | None,
+        schedule: Schedule | None,
+        fingerprint: str | None,
+    ) -> tuple[PortfolioResult, str | None]:
+        """Cache consult + portfolio run; returns the usable fingerprint too."""
         if qubit_permutation is not None or schedule is not None:
             fingerprint = None
         elif fingerprint is not None and not self._fingerprints_sound():
@@ -232,22 +286,26 @@ class EquivalenceCheckingManager:
             fingerprint = self._pair_fingerprint(first, second)
         canonical_fingerprint: str | None = None
         if self.verdict_cache is not None and fingerprint is not None:
-            cached = self.verdict_cache.get(fingerprint)
+            with trace.span("cache.lookup", tier="fingerprint") as lookup_span:
+                cached = self.verdict_cache.get(fingerprint)
+                lookup_span.set_attr("hit", cached is not None)
             if cached is not None:
                 self._count_run("cache_hit")
-                return replace(cached, cached_via="fingerprint")
+                return replace(cached, cached_via="fingerprint"), fingerprint
             # Second tier: the translation-level-invariant canonical key.  A
             # hit means this pair was verified before at *another* translation
             # level; the verdict fans out to the raw key so future lookups of
             # this exact representation hit directly.
             canonical_fingerprint = self._canonical_pair_fingerprint(first, second)
             if canonical_fingerprint is not None:
-                cached = self.verdict_cache.get(canonical_fingerprint)
+                with trace.span("cache.lookup", tier="canonical") as lookup_span:
+                    cached = self.verdict_cache.get(canonical_fingerprint)
+                    lookup_span.set_attr("hit", cached is not None)
                 if cached is not None:
                     self._count_run("canonical_cache_hit")
                     result = replace(cached, cached_via="canonical_fingerprint")
                     self.verdict_cache.put(fingerprint, result)
-                    return result
+                    return result, fingerprint
         self._count_run("executed")
         result = self._run_uncached(
             first, second, qubit_permutation=qubit_permutation, schedule=schedule
@@ -260,7 +318,7 @@ class EquivalenceCheckingManager:
             self.verdict_cache.put(fingerprint, result)
             if canonical_fingerprint is not None:
                 self.verdict_cache.put(canonical_fingerprint, result)
-        return result
+        return result, fingerprint
 
     def _cacheable(self, result: PortfolioResult) -> bool:
         """Whether a fresh result may be stored without risking verdict drift.
@@ -314,7 +372,11 @@ class EquivalenceCheckingManager:
             return None
         from repro.service.fingerprint import canonical_pair_fingerprint
 
-        key = canonical_pair_fingerprint(first, second, self.configuration)
+        with trace.span("fingerprint.canonical") as canonical_span:
+            key = canonical_pair_fingerprint(first, second, self.configuration)
+            canonical_span.set_attr(
+                "status", "computed" if key is not None else "unavailable"
+            )
         if self.metrics is not None:
             self.metrics.counter(
                 "repro_canonical_fingerprints_total",
@@ -334,7 +396,11 @@ class EquivalenceCheckingManager:
         config = self.configuration
         start = time.perf_counter()
         if schedule is None:
-            schedule = self.schedule_for(first, second)
+            with trace.span("scheduler.decide") as decide_span:
+                schedule = self.schedule_for(first, second)
+                decide_span.set_attr("scheduler", schedule.scheduler)
+                decide_span.set_attr("lineup", ",".join(schedule.checker_names))
+                decide_span.set_attr("rationale", schedule.rationale)
         if self.breakers is not None:
             quarantined = self.breakers.quarantined()
             if quarantined:
@@ -342,6 +408,11 @@ class EquivalenceCheckingManager:
                 # as a last resort (their breakers may admit a probe, and the
                 # overall deadline should be spent on checkers that work).
                 schedule = deprioritize(schedule, quarantined)
+                trace.add_event("breaker.deprioritize", checkers=list(quarantined))
+                _log.info(
+                    "quarantined checkers deprioritized",
+                    **fields(checkers=list(quarantined)),
+                )
         deadline = None if config.timeout is None else start + config.timeout
         attempts: list[CheckerAttempt] = []
         indicative: EquivalenceCriterion | None = None
@@ -372,6 +443,7 @@ class EquivalenceCheckingManager:
                 # Breaker open: refuse the call instead of paying for another
                 # crash/timeout.  The attempt is recorded so batch statistics
                 # and the result's schedule stay honest about what was skipped.
+                trace.add_event("checker.quarantined", checker=slot.name)
                 attempts.append(
                     self._observe_attempt(
                         CheckerAttempt(
@@ -464,6 +536,28 @@ class EquivalenceCheckingManager:
         qubit_permutation: dict[int, int] | None,
         budget: float | None,
     ) -> CheckerAttempt:
+        """Run one checker attempt inside its trace span."""
+        with trace.span("checker.run", checker=method) as checker_span:
+            if budget is not None:
+                checker_span.set_attr("budget", round(budget, 6))
+            attempt = self._run_checker_attempt(
+                method, first, second, qubit_permutation, budget
+            )
+            checker_span.set_attr("status", attempt.status)
+            if attempt.result is not None:
+                checker_span.set_attr("criterion", attempt.result.criterion.value)
+            if attempt.error is not None:
+                checker_span.set_attr("error", attempt.error)
+            return attempt
+
+    def _run_checker_attempt(
+        self,
+        method: str,
+        first: QuantumCircuit,
+        second: QuantumCircuit,
+        qubit_permutation: dict[int, int] | None,
+        budget: float | None,
+    ) -> CheckerAttempt:
         """Run one checker, bounded by ``budget`` seconds (None = unbounded)."""
         checker = EquivalenceChecker(self.configuration.updated(method=method))
         started = time.perf_counter()
@@ -544,7 +638,10 @@ class EquivalenceCheckingManager:
         ).inc(outcome=outcome)
 
     def _observe_attempt(self, attempt: CheckerAttempt) -> CheckerAttempt:
-        """Record one checker attempt into the metrics registry, if any."""
+        """Record one checker attempt: DD accumulator, then metrics if any."""
+        details = getattr(attempt.result, "details", None)
+        if isinstance(details, dict) and "dd_statistics" in details:
+            self._accumulate_dd_statistics(attempt.method, details["dd_statistics"])
         if self.metrics is None:
             return attempt
         self.metrics.histogram(
@@ -552,7 +649,6 @@ class EquivalenceCheckingManager:
             "Wall-clock latency of individual checker attempts.",
             labelnames=("checker", "status"),
         ).observe(attempt.time_taken, checker=attempt.method, status=attempt.status)
-        details = getattr(attempt.result, "details", None)
         if isinstance(details, dict) and "dd_statistics" in details:
             from repro.service.metrics import publish_dd_statistics
 
@@ -566,6 +662,51 @@ class EquivalenceCheckingManager:
                 self.metrics, details["rewrite_statistics"], checker=attempt.method
             )
         return attempt
+
+    def _accumulate_dd_statistics(self, checker: str, statistics: dict) -> None:
+        from repro.service.metrics import merge_dd_statistics
+
+        with self._dd_stats_lock:
+            merge_dd_statistics(self._dd_stats.setdefault(checker, {}), statistics)
+
+    def dd_statistics(self) -> dict[str, dict]:
+        """Per-checker decision-diagram cache counters accumulated so far.
+
+        Covers in-process attempts *and* process-pool batches: work-unit
+        results carry the workers' accumulated counters back (see
+        :class:`~repro.core.workers.WorkUnitResult`), so the gate-cache
+        hit/miss/eviction totals no longer vanish with the pool.
+        """
+        with self._dd_stats_lock:
+            return {checker: dict(stats) for checker, stats in self._dd_stats.items()}
+
+    def _absorb_worker_dd_statistics(self, per_checker: dict[str, dict]) -> None:
+        """Fold a work unit's DD counters into the parent's view and metrics."""
+        if not per_checker:
+            return
+        from repro.service.metrics import publish_dd_statistics
+
+        for checker, statistics in per_checker.items():
+            self._accumulate_dd_statistics(checker, statistics)
+            if self.metrics is not None:
+                publish_dd_statistics(self.metrics, statistics, checker=checker)
+
+    def _record_telemetry(
+        self, result: PortfolioResult | None, fingerprint: str | None = None
+    ) -> None:
+        """Append one run-telemetry record (no-op without a journal)."""
+        if self.telemetry is None or result is None:
+            return
+        from repro.obs.telemetry import run_record
+
+        breakers = None
+        if self.breakers is not None:
+            snapshot = self.breakers.snapshot()
+            if snapshot:
+                breakers = {name: entry["state"] for name, entry in snapshot.items()}
+        self.telemetry.record_run(
+            run_record(result, fingerprint=fingerprint, breakers=breakers)
+        )
 
     # ------------------------------------------------------------------
     # batch verification
@@ -595,18 +736,43 @@ class EquivalenceCheckingManager:
         start = time.perf_counter()
         pairs = list(pairs)
         config = self.configuration
-        if self.verdict_cache is not None:
-            entries = self._batch_entries_deduplicated(pairs)
-        elif config.executor == "process":
-            entries = self._batch_entries_processes(pairs)
-        else:
-            entries = self._batch_entries_threads(pairs)
+        with trace.span(
+            "manager.verify_batch",
+            pairs=len(pairs),
+            executor=config.executor,
+            max_workers=config.max_workers,
+        ):
+            if self.verdict_cache is not None:
+                entries = self._batch_entries_deduplicated(pairs)
+            elif config.executor == "process":
+                entries = self._batch_entries_processes(pairs)
+            else:
+                entries = self._batch_entries_threads(pairs)
         return BatchResult(
             entries=entries,
             total_time=time.perf_counter() - start,
             max_workers=config.max_workers,
             executor=config.executor,
         )
+
+    def _batch_schedules(
+        self, pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]]
+    ) -> dict[int, Schedule]:
+        """Scheduling decisions for a batch, made once here in the parent.
+
+        Shared by both executors so a batch traces identically on threads
+        and processes: one ``scheduler.decide`` span per pair under the
+        batch span, and the per-pair runs replay the decision instead of
+        re-deriving it (which is how the process path always worked).
+        """
+        schedules: dict[int, Schedule] = {}
+        for index, (first, second) in enumerate(pairs):
+            with trace.span("scheduler.decide", pair=index) as decide_span:
+                schedule = self.schedule_for(first, second)
+                decide_span.set_attr("scheduler", schedule.scheduler)
+                decide_span.set_attr("lineup", ",".join(schedule.checker_names))
+            schedules[index] = schedule
+        return schedules
 
     def _batch_entries_deduplicated(
         self, pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]]
@@ -654,6 +820,9 @@ class EquivalenceCheckingManager:
             if cached is None:
                 dispatch_indices.append(index)
                 continue
+            # Telemetry for parent-side cache hits (duplicate fan-outs below
+            # are copies of the same observation and are not re-recorded).
+            self._record_telemetry(cached, fingerprint)
             entries[index] = BatchEntry(
                 index=index,
                 name_first=getattr(first, "name", None) or f"first[{index}]",
@@ -717,12 +886,22 @@ class EquivalenceCheckingManager:
         pairs: Sequence[tuple[QuantumCircuit, QuantumCircuit]],
         consult_cache: bool = True,
     ) -> list[BatchEntry]:
+        schedules = self._batch_schedules(pairs)
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=self.configuration.max_workers, thread_name_prefix="verify-batch"
         ) as executor:
+            # Each submission ships a copy of the caller's context so the
+            # ambient trace scope (a contextvar, not thread-inherited)
+            # reaches the pool threads and per-pair spans parent correctly.
             futures = [
                 executor.submit(
-                    self._batch_entry, index, first, second, consult_cache=consult_cache
+                    contextvars.copy_context().run,
+                    self._batch_entry,
+                    index,
+                    first,
+                    second,
+                    schedules[index],
+                    consult_cache=consult_cache,
                 )
                 for index, (first, second) in enumerate(pairs)
             ]
@@ -752,10 +931,12 @@ class EquivalenceCheckingManager:
         """
         config = self.configuration
         entries: list[BatchEntry | None] = [None] * len(pairs)
-        schedules = {
-            index: self.schedule_for(first, second)
-            for index, (first, second) in enumerate(pairs)
-        }
+        schedules = self._batch_schedules(pairs)
+        # The parent's trace position rides inside every unit; workers build
+        # a process-local tracer from it and return their finished spans in
+        # the results, which the parent adopts below.  None when untraced.
+        traceparent = trace.current_traceparent()
+        tracer = trace.current_tracer()
         # Backoff between pool rebuilds: tiny but jittered, so concurrent
         # batches hammering a struggling machine spread their respawns out.
         # Seeded for reproducible chaos tests.
@@ -798,6 +979,7 @@ class EquivalenceCheckingManager:
                         pairs=unit,
                         schedules={index: schedules[index] for index, _, _ in unit},
                         attempt=attempt,
+                        traceparent=traceparent,
                     )
                     try:
                         future = executor.submit(verify_work_unit, work)
@@ -811,8 +993,13 @@ class EquivalenceCheckingManager:
                 round_failed = False
                 for future, (unit, attempt, retries_left) in futures.items():
                     try:
-                        for entry in future.result():
+                        outcome = future.result()
+                        for entry in outcome.entries:
                             entries[entry.index] = entry
+                            self._observe_remote_entry(entry)
+                        if tracer is not None and outcome.spans:
+                            tracer.adopt(outcome.spans)
+                        self._absorb_worker_dd_statistics(outcome.dd_statistics)
                     except Exception as error:  # noqa: BLE001 - isolate unit failures
                         round_failed = True
                         collateral = isinstance(
@@ -862,6 +1049,11 @@ class EquivalenceCheckingManager:
                     )
                     with self._batch_stats_lock:
                         self._batch_stats["pool_rebuilds"] += 1
+                    trace.add_event("batch.pool_rebuild", pending=len(pending))
+                    _log.warning(
+                        "process pool rebuilt after failure",
+                        **fields(pending_units=len(pending)),
+                    )
                     if pending:
                         policy.backoff()
         finally:
@@ -897,16 +1089,32 @@ class EquivalenceCheckingManager:
             mid = len(unit) // 2
             with self._batch_stats_lock:
                 self._batch_stats["unit_bisections"] += 1
+            _log.info(
+                "failed work unit bisected",
+                **fields(pairs=len(unit), error=f"{type(error).__name__}: {error}"),
+            )
             pending.append((unit[:mid], attempt + 1, retries_left))
             pending.append((unit[mid:], attempt + 1, retries_left))
             return
         if retries_left > 0:
             with self._batch_stats_lock:
                 self._batch_stats["unit_retries"] += 1
+            _log.info(
+                "failed work unit re-dispatched",
+                **fields(
+                    attempt=attempt + 1,
+                    retries_left=retries_left - 1,
+                    error=f"{type(error).__name__}: {error}",
+                ),
+            )
             pending.append((unit, attempt + 1, retries_left - 1))
             return
         with self._batch_stats_lock:
             self._batch_stats["abandoned_units"] += 1
+        _log.warning(
+            "work unit abandoned; pairs reported as errors",
+            **fields(pairs=len(unit), error=f"{type(error).__name__}: {error}"),
+        )
         for index, first, second in unit:
             entries[index] = BatchEntry(
                 index=index,
@@ -919,6 +1127,29 @@ class EquivalenceCheckingManager:
         """Process-pool resilience counters (rebuilds/retries/bisections)."""
         with self._batch_stats_lock:
             return dict(self._batch_stats)
+
+    def _observe_remote_entry(self, entry: BatchEntry) -> None:
+        """Metrics + telemetry for an entry verified in a worker process.
+
+        The worker's manager had neither a metrics registry nor a telemetry
+        journal, so the parent records the reassembled entry: per-attempt
+        latency observations (previously parent-process-only) and the
+        run-telemetry record.
+        """
+        result = entry.result
+        if result is None:
+            return
+        if self.metrics is not None:
+            histogram = self.metrics.histogram(
+                "repro_checker_latency_seconds",
+                "Wall-clock latency of individual checker attempts.",
+                labelnames=("checker", "status"),
+            )
+            for attempt in result.attempts:
+                histogram.observe(
+                    attempt.time_taken, checker=attempt.method, status=attempt.status
+                )
+        self._record_telemetry(result)
 
     def _batch_entry(
         self,
@@ -939,7 +1170,17 @@ class EquivalenceCheckingManager:
             if consult_cache:
                 entry.result = self.run(first, second, schedule=schedule)
             else:
-                entry.result = self._run_uncached(first, second, schedule=schedule)
+                # The deduplicated batch path consulted the cache in the
+                # parent already, so this runs (and records) uncached — with
+                # its own span, since self.run() is bypassed.
+                with trace.span(
+                    "manager.run",
+                    first=entry.name_first,
+                    second=entry.name_second,
+                ) as run_span:
+                    entry.result = self._run_uncached(first, second, schedule=schedule)
+                    run_span.set_attr("criterion", entry.result.criterion.value)
+                    self._record_telemetry(entry.result)
         except Exception as error:  # noqa: BLE001 - isolate per-pair failures
             entry.error = f"{type(error).__name__}: {error}"
         entry.time_taken = time.perf_counter() - started

@@ -114,6 +114,18 @@ class Schedule:
     def checker_names(self) -> tuple[str, ...]:
         return tuple(slot.name for slot in self.checkers)
 
+    def to_json(self) -> dict:
+        """JSON-ready view of the decision (trace attrs, telemetry records)."""
+        return {
+            "scheduler": self.scheduler,
+            "rationale": self.rationale,
+            "checkers": [
+                {"name": slot.name, "budget_fraction": slot.budget_fraction}
+                for slot in self.checkers
+            ],
+            "features": self.features.to_dict() if self.features is not None else None,
+        }
+
 
 class PortfolioScheduler(ABC):
     """Strategy object deciding checker order and budgets per circuit pair."""

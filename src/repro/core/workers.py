@@ -8,13 +8,18 @@ requires every work unit to round-trip through ``pickle``:
   :class:`~repro.core.configuration.Configuration`, a chunk of indexed
   circuit pairs (:class:`~repro.circuit.circuit.QuantumCircuit` defines
   ``__getstate__``/``__setstate__``, gates and instructions define
-  ``__reduce__``) and the parent's per-pair scheduling decisions
+  ``__reduce__``), the parent's per-pair scheduling decisions
   (:class:`~repro.core.scheduler.Schedule` objects are plain frozen
-  dataclasses, picklable by design);
+  dataclasses, picklable by design) and the parent's trace position as a
+  W3C ``traceparent`` string;
 * the *worker* is the top-level function :func:`verify_work_unit`, importable
   by name from any start method (fork, spawn, forkserver);
-* the *output* is a list of plain :class:`~repro.core.results.BatchEntry`
-  objects.
+* the *output* is a :class:`WorkUnitResult`: plain
+  :class:`~repro.core.results.BatchEntry` objects plus the observability
+  payloads that would otherwise die with the worker process — finished
+  trace spans (serialized as dicts, already parented under the parent's
+  batch span via the shipped ``traceparent``) and the per-checker
+  decision-diagram cache statistics the worker's manager accumulated.
 
 Each worker process rebuilds its own
 :class:`~repro.core.manager.EquivalenceCheckingManager` from the configuration;
@@ -33,8 +38,9 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.core.configuration import Configuration
 from repro.core.results import BatchEntry
 from repro.core.scheduler import Schedule
+from repro.obs import trace
 
-__all__ = ["BatchWorkUnit", "chunk_pairs", "verify_work_unit"]
+__all__ = ["BatchWorkUnit", "WorkUnitResult", "chunk_pairs", "verify_work_unit"]
 
 
 @dataclass
@@ -50,12 +56,32 @@ class BatchWorkUnit:
     counts re-dispatches of this unit by the parent's retry loop (0 on first
     dispatch); the fault-injection harness keys worker-death rules on it so
     an injected crash is deterministic across freshly spawned processes.
+    ``traceparent`` carries the parent's trace position (None when the batch
+    is untraced): the worker continues that trace and returns its finished
+    spans inside the :class:`WorkUnitResult`.
     """
 
     configuration: Configuration
     pairs: list[tuple[int, QuantumCircuit, QuantumCircuit]]
     schedules: dict[int, Schedule] = field(default_factory=dict)
     attempt: int = 0
+    traceparent: str | None = None
+
+
+@dataclass
+class WorkUnitResult:
+    """What one work unit sends back: entries plus observability payloads.
+
+    ``spans`` are finished :class:`~repro.obs.trace.Span` dicts (empty when
+    the unit was untraced); ``dd_statistics`` maps checker names to the
+    accumulated decision-diagram cache counters of the worker's manager —
+    returned explicitly because the worker's metrics/accumulator state dies
+    with the process.
+    """
+
+    entries: list[BatchEntry]
+    spans: list[dict] = field(default_factory=list)
+    dd_statistics: dict[str, dict] = field(default_factory=dict)
 
 
 def chunk_pairs(
@@ -74,18 +100,24 @@ def chunk_pairs(
         yield chunk
 
 
-def verify_work_unit(unit: BatchWorkUnit) -> list[BatchEntry]:
+def verify_work_unit(unit: BatchWorkUnit) -> WorkUnitResult:
     """Verify one work unit inside a worker process.
 
     Top-level (hence picklable by reference) entry point for
     ``ProcessPoolExecutor``.  Rebuilds a manager from the unit's configuration
     — forced onto the thread executor so a worker can never recursively spawn
-    process pools, and with the verdict cache disabled: worker caches would be
-    process-local (useless after the pool winds down) and concurrent appends
-    to a shared ``cache_path`` journal from many workers could interleave.
-    The parent's :meth:`~repro.core.manager.EquivalenceCheckingManager.
-    verify_batch` dedupes before chunking and stores the workers' verdicts
-    into its own cache after reassembly.
+    process pools, with the verdict cache disabled (worker caches would be
+    process-local and concurrent appends to a shared ``cache_path`` journal
+    from many workers could interleave) and with telemetry disabled (the
+    parent records the reassembled entries, so per-run records are written
+    exactly once).  The parent's :meth:`~repro.core.manager.
+    EquivalenceCheckingManager.verify_batch` dedupes before chunking and
+    stores the workers' verdicts into its own cache after reassembly.
+
+    When the unit carries a ``traceparent``, a process-local
+    :class:`~repro.obs.trace.Tracer` continues the parent's trace: each
+    pair's ``manager.run`` span hangs off the parent's batch span, and the
+    finished spans travel back as dicts in the result.
     """
     # Imported here, not at module top, to avoid a circular import with
     # repro.core.manager (which imports this module for chunking).
@@ -94,7 +126,10 @@ def verify_work_unit(unit: BatchWorkUnit) -> list[BatchEntry]:
 
     manager = EquivalenceCheckingManager(
         unit.configuration.updated(
-            executor="thread", verdict_cache=False, cache_path=None
+            executor="thread",
+            verdict_cache=False,
+            cache_path=None,
+            telemetry_path=None,
         )
     )
     # Worker-site fault injection (a no-op without a fault plan): rules are
@@ -103,11 +138,21 @@ def verify_work_unit(unit: BatchWorkUnit) -> list[BatchEntry]:
     # after the parent respawned the pool — until the attempt count outgrows
     # the rule's ``times`` budget.
     injector = FaultInjector(unit.configuration.fault_plan)
+    tracer = (
+        trace.Tracer.from_traceparent(unit.traceparent)
+        if unit.traceparent is not None
+        else None
+    )
     entries = []
-    for index, first, second in unit.pairs:
-        if injector.active:
-            injector.fire("worker", str(index), attempt=unit.attempt)
-        entries.append(
-            manager._batch_entry(index, first, second, unit.schedules.get(index))
-        )
-    return entries
+    with trace.activate(tracer):
+        for index, first, second in unit.pairs:
+            if injector.active:
+                injector.fire("worker", str(index), attempt=unit.attempt)
+            entries.append(
+                manager._batch_entry(index, first, second, unit.schedules.get(index))
+            )
+    return WorkUnitResult(
+        entries=entries,
+        spans=tracer.export() if tracer is not None else [],
+        dd_statistics=manager.dd_statistics(),
+    )

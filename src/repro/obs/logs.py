@@ -1,0 +1,114 @@
+"""JSON-lines structured logging with automatic trace correlation.
+
+Built on the stdlib :mod:`logging` tree under the ``"repro"`` root logger:
+
+* library modules call :func:`get_logger` and log normally — with no
+  handler configured nothing is emitted below WARNING (standard
+  library-quiet behaviour), so the instrumented hot paths cost one level
+  check;
+* applications (every CLI command via ``--log-level``/``--log-file``, the
+  servers, tests) call :func:`configure_logging` once to attach a
+  :class:`JsonFormatter` handler — each record then renders as one JSON
+  line with timestamp, level, logger, message, any structured fields
+  passed via :func:`fields`, and — when a span is active on the logging
+  thread — the ``trace_id``/``span_id`` of the surrounding trace, so log
+  lines and spans join on ids instead of on guesswork.
+
+The formatter reads the ambient span at ``format()`` time, which runs
+synchronously on the logging thread, so the correlation is exact even with
+many concurrent jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+from repro.obs.trace import current_span
+
+__all__ = ["JsonFormatter", "configure_logging", "fields", "get_logger"]
+
+_ROOT = "repro"
+#: Marker attribute identifying handlers owned by :func:`configure_logging`,
+#: so reconfiguration replaces them instead of stacking duplicates.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+class JsonFormatter(logging.Formatter):
+    """One compact JSON object per record, trace-correlated when possible."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = current_span()
+        if span is not None and span.span_id is not None:
+            payload["trace_id"] = span.trace_id
+            payload["span_id"] = span.span_id
+        extra = getattr(record, "repro_fields", None)
+        if isinstance(extra, dict):
+            for key, value in extra.items():
+                payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"), sort_keys=True)
+
+
+def fields(**values) -> dict:
+    """Structured fields for a log call: ``logger.info("msg", **fields(k=v))``.
+
+    Wraps the values in the ``extra`` mapping the :class:`JsonFormatter`
+    looks for, so call sites stay one-liners.
+    """
+    return {"extra": {"repro_fields": values}}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` root (``get_logger("core.manager")``)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_logging(
+    level: str | int | None = None,
+    path: str | None = None,
+    *,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Attach a JSON-lines handler to the ``repro`` logger tree.
+
+    ``path`` appends to a file; otherwise ``stream`` (default ``stderr``)
+    receives the lines — stderr keeps them clear of the CLI's stdout
+    payloads, so ``verify --json | jq`` keeps working under ``--log-level
+    debug``.  Idempotent: previously installed handlers are replaced, not
+    stacked, and the tree stops propagating to the (application-owned)
+    global root.
+    """
+    root = logging.getLogger(_ROOT)
+    if level is None:
+        level = logging.INFO
+    elif isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+            handler.close()
+    if path is not None:
+        handler: logging.Handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

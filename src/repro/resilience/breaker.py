@@ -27,7 +27,12 @@ import threading
 import time
 from typing import Callable
 
+from repro.obs import trace
+from repro.obs.logs import fields, get_logger
+
 __all__ = ["BreakerBoard", "CircuitBreaker", "STATE_VALUES"]
+
+_log = get_logger("resilience.breaker")
 
 #: Numeric encoding of breaker states for gauge export
 #: (``repro_breaker_state``): closed=0, half-open=1, open=2.
@@ -48,6 +53,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         cooldown: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        name: str = "checker",
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
@@ -55,6 +61,7 @@ class CircuitBreaker:
             raise ValueError("cooldown must be positive")
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
+        self.name = name
         self._clock = clock
         self._lock = threading.Lock()
         self._state = "closed"
@@ -81,26 +88,34 @@ class CircuitBreaker:
         exactly one half-open probe, and further calls are refused until that
         probe is resolved by :meth:`record_success` / :meth:`record_failure`.
         """
-        with self._lock:
-            if self._state == "closed":
-                return True
-            if self._state == "open":
-                if self._clock() - self._opened_at >= self.cooldown:
-                    self._state = "half_open"
-                    self._probe_in_flight = True
-                    self._probes += 1
+        probe = False
+        try:
+            with self._lock:
+                if self._state == "closed":
                     return True
-                self._rejections += 1
-                return False
-            # half-open: only the single in-flight probe is admitted.
-            if self._probe_in_flight:
-                self._rejections += 1
-                return False
-            self._probe_in_flight = True
-            self._probes += 1
-            return True
+                if self._state == "open":
+                    if self._clock() - self._opened_at >= self.cooldown:
+                        self._state = "half_open"
+                        self._probe_in_flight = True
+                        self._probes += 1
+                        probe = True
+                        return True
+                    self._rejections += 1
+                    return False
+                # half-open: only the single in-flight probe is admitted.
+                if self._probe_in_flight:
+                    self._rejections += 1
+                    return False
+                self._probe_in_flight = True
+                self._probes += 1
+                probe = True
+                return True
+        finally:
+            if probe:
+                self._transition("half_open", "probe admitted after cooldown")
 
     def record_success(self) -> None:
+        closed = False
         with self._lock:
             self._successes += 1
             self._consecutive_failures = 0
@@ -109,8 +124,12 @@ class CircuitBreaker:
                 self._state = "closed"
                 self._opened_at = None
                 self._closes += 1
+                closed = True
+        if closed:
+            self._transition("closed", "probe succeeded")
 
     def record_failure(self) -> None:
+        opened: str | None = None
         with self._lock:
             self._failures += 1
             self._consecutive_failures += 1
@@ -120,6 +139,7 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self._probe_in_flight = False
                 self._opens += 1
+                opened = "probe failed"
             elif (
                 self._state == "closed"
                 and self._consecutive_failures >= self.failure_threshold
@@ -127,6 +147,21 @@ class CircuitBreaker:
                 self._state = "open"
                 self._opened_at = self._clock()
                 self._opens += 1
+                opened = (
+                    f"{self._consecutive_failures} consecutive failures "
+                    f"(threshold {self.failure_threshold})"
+                )
+        if opened is not None:
+            self._transition("open", opened)
+
+    def _transition(self, state: str, reason: str) -> None:
+        """Log + trace a state transition (called outside the lock)."""
+        trace.add_event("breaker.transition", checker=self.name, state=state)
+        level = _log.warning if state == "open" else _log.info
+        level(
+            "circuit breaker %s", state,
+            **fields(checker=self.name, state=state, reason=reason),
+        )
 
     # ------------------------------------------------------------------
     # reporting
@@ -188,7 +223,7 @@ class BreakerBoard:
             breaker = self._breakers.get(name)
             if breaker is None:
                 breaker = CircuitBreaker(
-                    self.failure_threshold, self.cooldown, self._clock
+                    self.failure_threshold, self.cooldown, self._clock, name=name
                 )
                 self._breakers[name] = breaker
             return breaker

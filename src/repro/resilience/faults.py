@@ -45,8 +45,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.exceptions import ReproError, ServiceError
+from repro.obs.logs import fields, get_logger
 
 __all__ = ["FAULT_SITES", "FaultInjected", "FaultInjector", "FaultPlan", "FaultRule"]
+
+_log = get_logger("resilience.faults")
 
 FAULT_SITES = ("checker", "worker", "journal", "submit")
 _ACTIONS = ("raise", "sleep", "exit", "reject")
@@ -180,6 +183,10 @@ class FaultInjector:
             return True
 
     def _execute(self, rule: FaultRule, site: str, target: str) -> None:
+        _log.warning(
+            "fault injected",
+            **fields(site=site, target=target, action=rule.action),
+        )
         if rule.action == "sleep":
             self._sleep(rule.delay)
             return

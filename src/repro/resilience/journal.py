@@ -46,7 +46,12 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Callable
 
+from repro.obs import trace
+from repro.obs.logs import fields, get_logger
+
 __all__ = ["CrashSafeJournal"]
+
+_log = get_logger("resilience.journal")
 
 _MAGIC = b"R "
 
@@ -133,6 +138,16 @@ class CrashSafeJournal:
                 pos = newline + 1
             if good_end < len(data) and self._truncate_torn_tail:
                 self._truncate_to(good_end, len(data))
+            if self._dropped:
+                _log.warning(
+                    "journal replay dropped corrupt records",
+                    **fields(
+                        path=str(self.path),
+                        recovered=self._recovered,
+                        dropped=self._dropped,
+                        truncated_bytes=self._truncated_bytes,
+                    ),
+                )
             if self._key is not None:
                 for record in records:
                     key = self._key(record)
@@ -185,17 +200,22 @@ class CrashSafeJournal:
     def append(self, record: dict) -> None:
         """Append one record atomically; raises ``OSError`` on I/O failure."""
         line = _encode_record(record)
-        with self._lock:
-            if self._write_hook is not None:
-                self._write_hook()
+        with self._lock, trace.span("journal.append", bytes=len(line)) as current:
             try:
+                if self._write_hook is not None:
+                    self._write_hook()
                 with self.path.open("ab") as handle:
                     handle.write(line)
                     handle.flush()
                     if self.fsync:
                         os.fsync(handle.fileno())
-            except OSError:
+            except OSError as error:
                 self._append_errors += 1
+                current.set_attr("error", str(error))
+                _log.warning(
+                    "journal append failed",
+                    **fields(path=str(self.path), error=str(error)),
+                )
                 raise
             self._appends += 1
             if self._key is not None:
@@ -234,6 +254,10 @@ class CrashSafeJournal:
                     pass
                 raise
             self._compactions += 1
+            _log.info(
+                "journal compacted",
+                **fields(path=str(self.path), kept=len(self._latest)),
+            )
             return len(self._latest)
 
     def flush(self) -> None:

@@ -19,7 +19,11 @@ import random
 import time
 from typing import Callable
 
+from repro.obs.logs import fields, get_logger
+
 __all__ = ["RetryPolicy"]
+
+_log = get_logger("resilience.retry")
 
 
 class RetryPolicy:
@@ -68,5 +72,9 @@ class RetryPolicy:
         """Sleep for :meth:`next_delay` and return the duration slept."""
         delay = self.next_delay(retry_after)
         if delay > 0:
+            _log.debug(
+                "retry backoff",
+                **fields(delay=round(delay, 4), retry_after=retry_after),
+            )
             self._sleep(delay)
         return delay

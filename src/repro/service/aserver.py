@@ -24,6 +24,9 @@ What the asyncio front end adds over the thread server:
   waiting clients cost next to nothing.
 * ``GET /metrics`` — the same unified Prometheus registry as the thread
   server.
+* ``GET /jobs/<id>/trace`` — the same per-job span tree as the thread
+  server; a ``Traceparent`` request header on submission joins the job's
+  spans to the client's distributed trace.
 
 :class:`AsyncVerificationServer` mirrors :class:`~repro.service.server.
 VerificationServer`'s lifecycle (``start_background()`` / ``close()`` /
@@ -34,6 +37,7 @@ interchangeably.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import math
 import threading
@@ -42,6 +46,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.configuration import Configuration
 from repro.exceptions import ServiceError
+from repro.obs.logs import fields, get_logger
 from repro.service.server import (
     _MAX_BODY_BYTES,
     VerificationService,
@@ -49,6 +54,8 @@ from repro.service.server import (
 )
 
 __all__ = ["AsyncVerificationServer"]
+
+_log = get_logger("service.aserver")
 
 #: Maximum size of the request line + headers block.
 _MAX_HEADER_BYTES = 64 * 1024
@@ -324,7 +331,7 @@ class AsyncVerificationServer:
 
         try:
             status, payload, headers_out, raw = await self._route(
-                method, target, body, peer
+                method, target, body, peer, headers
             )
         except ServiceError as error:
             headers_out = {}
@@ -370,7 +377,12 @@ class AsyncVerificationServer:
     # ------------------------------------------------------------------
 
     async def _route(
-        self, method: str, target: str, body: bytes, peer: str
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        peer: str,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict | str, dict, bool]:
         """Dispatch one request; returns (status, payload, headers, is_raw_text)."""
         split = urlsplit(target)
@@ -392,6 +404,8 @@ class AsyncVerificationServer:
                 if wait > 0:
                     await self._await_settled(parts[1], wait, loop)
                 return 200, self.service.job_result(parts[1]), {}, False
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+                return 200, self.service.job_trace(parts[1]), {}, False
             raise ServiceError(f"unknown endpoint {target!r}", status=404)
 
         if method == "POST":
@@ -414,7 +428,13 @@ class AsyncVerificationServer:
             # off the event loop so slow submissions cannot stall long-poll
             # wakeups and health checks.
             result = await loop.run_in_executor(
-                None, self.service.submit_qasm, first, second
+                None,
+                functools.partial(
+                    self.service.submit_qasm,
+                    first,
+                    second,
+                    traceparent=(headers or {}).get("traceparent"),
+                ),
             )
             return 202, result, {}, False
 
@@ -491,6 +511,10 @@ class AsyncVerificationServer:
             head_lines.append(f"{name}: {value}")
         head_lines.append("\r\n")
         self._m_requests.inc(backend="async", method=method, status=str(status))
+        _log.info(
+            "http access",
+            **fields(backend="async", method=method, status=status),
+        )
         try:
             writer.write("\r\n".join(head_lines).encode("latin-1") + body)
             await writer.drain()

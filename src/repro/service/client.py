@@ -41,6 +41,7 @@ import urllib.error
 import urllib.request
 
 from repro.exceptions import ServiceError
+from repro.obs import trace
 from repro.resilience.retry import RetryPolicy
 
 __all__ = ["VerificationClient"]
@@ -115,9 +116,10 @@ class VerificationClient:
         path: str,
         payload: dict | None = None,
         timeout: float | None = None,
+        headers: dict | None = None,
     ) -> dict:
         if self.retries <= 0:
-            return self._request_once(method, path, payload, timeout)
+            return self._request_once(method, path, payload, timeout, headers)
         # One fresh policy per logical request: backoff history must not
         # leak across unrelated calls, and a per-request policy needs no
         # locking for concurrent callers sharing the client.
@@ -131,7 +133,7 @@ class VerificationClient:
         remaining = self.retries
         while True:
             try:
-                return self._request_once(method, path, payload, timeout)
+                return self._request_once(method, path, payload, timeout, headers)
             except ServiceError as error:
                 if remaining <= 0 or error.status not in _RETRYABLE_STATUSES:
                     raise
@@ -145,12 +147,15 @@ class VerificationClient:
         path: str,
         payload: dict | None = None,
         timeout: float | None = None,
+        extra_headers: dict | None = None,
     ) -> dict:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=body, headers=headers, method=method
         )
@@ -194,14 +199,25 @@ class VerificationClient:
     # endpoints
     # ------------------------------------------------------------------
 
-    def submit(self, first, second) -> dict:
+    def submit(self, first, second, *, traceparent: str | None = None) -> dict:
         """Submit a pair; returns ``{"job_id", "fingerprint", "coalesced"}``.
 
         A server shedding load answers 429; the raised :class:`ServiceError`
         then carries the server's ``Retry-After`` hint in ``retry_after``.
+
+        The submission carries a W3C ``Traceparent`` header so the server-
+        side job execution joins the caller's distributed trace: an explicit
+        ``traceparent`` wins, otherwise the ambient active span's position
+        (:func:`repro.obs.trace.current_traceparent`) is used, and without
+        either the header is omitted (the server roots a fresh trace).
         """
+        if traceparent is None:
+            traceparent = trace.current_traceparent()
         return self._request(
-            "POST", "/jobs", {"first": _as_qasm(first), "second": _as_qasm(second)}
+            "POST",
+            "/jobs",
+            {"first": _as_qasm(first), "second": _as_qasm(second)},
+            headers={"Traceparent": traceparent} if traceparent else None,
         )
 
     def status(self, job_id: str) -> dict:
@@ -221,6 +237,10 @@ class VerificationClient:
             f"/jobs/{job_id}/result?wait={wait:g}",
             timeout=wait + max(self.timeout, _WAIT_GRACE),
         )
+
+    def trace(self, job_id: str) -> dict:
+        """The span tree of a settled job (``GET /jobs/<id>/trace``)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")

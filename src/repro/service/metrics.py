@@ -34,6 +34,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_dd_statistics",
     "publish_dd_statistics",
     "publish_rewrite_statistics",
 ]
@@ -389,6 +390,25 @@ def publish_dd_statistics(
     for kind in ("vector_nodes", "matrix_nodes"):
         if kind in statistics:
             nodes.set(float(statistics[kind]), checker=checker, kind=kind)
+
+
+def merge_dd_statistics(accumulator: dict, statistics: dict) -> dict:
+    """Merge one ``DDPackage.statistics()`` snapshot into an accumulator.
+
+    Counter keys add up; the point-in-time node counts keep the most recent
+    snapshot's value.  Used by the manager to aggregate per-checker DD
+    activity across a batch — including snapshots harvested from
+    process-pool work-unit results, whose worker-side accumulators die with
+    the pool.
+    """
+    for key in _DD_COUNTER_KEYS:
+        value = statistics.get(key)
+        if value:
+            accumulator[key] = accumulator.get(key, 0) + int(value)
+    for kind in ("vector_nodes", "matrix_nodes"):
+        if kind in statistics:
+            accumulator[kind] = statistics[kind]
+    return accumulator
 
 
 #: ``rewrite_statistics`` keys that accumulate as counters (events per run).

@@ -21,8 +21,11 @@ Endpoints (all JSON unless noted):
 * ``GET /jobs/<id>/result`` — the verdict payload (``409`` while pending).
   ``?wait=N`` long-polls: the request blocks until the job settles or ``N``
   seconds pass, so a well-behaved client needs one request, not a poll loop.
-* ``GET /stats``            — job counters, dedup counter, verdict-cache and
-  service statistics.
+* ``GET /jobs/<id>/trace``  — the span tree of a settled job (``409`` while
+  pending).  A client-supplied ``Traceparent`` request header on submission
+  makes the job's spans part of the client's distributed trace.
+* ``GET /stats``            — job counters, dedup counter, verdict-cache,
+  telemetry-journal and service statistics.
 * ``GET /metrics``          — the unified registry in Prometheus text format.
 * ``GET /healthz``          — liveness probe with the package version.
 
@@ -50,12 +53,16 @@ from repro.circuit.qasm import circuit_from_qasm
 from repro.core.configuration import Configuration
 from repro.core.manager import EquivalenceCheckingManager
 from repro.exceptions import ReproError, ServiceError
+from repro.obs import trace
+from repro.obs.logs import fields, get_logger
 from repro.resilience.breaker import STATE_VALUES
 from repro.resilience.retry import RetryPolicy
 from repro.service.fingerprint import fingerprints_sound_for, pair_fingerprint
 from repro.service.metrics import _REWRITE_COUNTER_KEYS, MetricsRegistry
 
 __all__ = ["VerificationJob", "VerificationServer", "VerificationService"]
+
+_log = get_logger("service.server")
 
 #: Upper bound on a ``POST /jobs`` body.  Generous for QASM circuit pairs
 #: (a 10k-gate circuit exports to well under 1 MB) while keeping a
@@ -82,6 +89,11 @@ class VerificationJob:
     finished_at: float | None = None
     result: dict | None = None
     error: str | None = None
+    # Client trace position (W3C ``traceparent``) the job execution should
+    # continue; the finished spans land in ``trace`` when the job settles.
+    traceparent: str | None = None
+    trace_id: str | None = None
+    trace: list = field(default_factory=list, repr=False, compare=False)
     # Set exactly once, when the job settles; long-poll waiters block on it.
     settled: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
@@ -276,6 +288,21 @@ class VerificationService:
             "repro_service_job_retries_total",
             "Job executions retried after a checker-level crash.",
         )
+
+        # --- observability instruments (PR 10) -------------------------
+        from repro import __version__
+
+        build_info = registry.gauge(
+            "repro_build_info",
+            "Build information; the value is always 1, the version rides "
+            "in the label.",
+            labelnames=("version",),
+        )
+        build_info.set(1.0, version=__version__)
+        self._m_trace_spans = registry.counter(
+            "repro_trace_spans_total",
+            "Trace spans finished by traced job executions.",
+        )
         draining = registry.gauge(
             "repro_service_draining",
             "1 while the service is draining (rejecting new submissions).",
@@ -357,7 +384,9 @@ class VerificationService:
     # job lifecycle
     # ------------------------------------------------------------------
 
-    def submit_qasm(self, first_qasm: str, second_qasm: str) -> dict:
+    def submit_qasm(
+        self, first_qasm: str, second_qasm: str, *, traceparent: str | None = None
+    ) -> dict:
         """Parse and queue a pair given as OpenQASM 2 text.
 
         Returns the ``POST /jobs`` payload.  A malformed circuit raises
@@ -369,9 +398,9 @@ class VerificationService:
             second = circuit_from_qasm(second_qasm)
         except ReproError as error:
             raise ServiceError(f"invalid circuit payload: {error}", status=400) from error
-        return self.submit(first, second)
+        return self.submit(first, second, traceparent=traceparent)
 
-    def submit(self, first, second) -> dict:
+    def submit(self, first, second, *, traceparent: str | None = None) -> dict:
         """Queue one circuit pair; identical in-flight submissions coalesce.
 
         Raises :class:`ServiceError` 429 (with ``retry_after``) when a
@@ -427,11 +456,16 @@ class VerificationService:
                     retry_after=retry_after,
                 )
             self._next_id += 1
+            # A malformed traceparent is ignored (the job gets a fresh
+            # trace) rather than rejected: tracing must never fail a submit.
+            if traceparent is not None and trace.parse_traceparent(traceparent) is None:
+                traceparent = None
             job = VerificationJob(
                 job_id=f"job-{self._next_id:06d}",
                 fingerprint=fingerprint,
                 name_first=getattr(first, "name", "first"),
                 name_second=getattr(second, "name", "second"),
+                traceparent=traceparent,
             )
             self._jobs[job.job_id] = job
             self._active += 1
@@ -467,32 +501,61 @@ class VerificationService:
         policy = RetryPolicy(
             attempts=self.job_retries, base=0.02, cap=0.5, rng=random.Random(0)
         )
-        while True:
-            try:
-                # The submission path already fingerprinted the pair for
-                # dedup; hand the digest to the manager so a cache hit does
-                # not pay for a second canonicalization pass.
-                result = self.manager.run(first, second, fingerprint=job.fingerprint)
-                result_payload = {
-                    "first": job.name_first,
-                    "second": job.name_second,
-                    **result.to_json(),
-                }
-                error_text = None
-                break
-            except Exception as error:  # noqa: BLE001 - isolate per-job failures
-                error_text = f"{type(error).__name__}: {error}"
-                if retries_left <= 0:
+        # Every job execution is traced: a client-supplied traceparent makes
+        # the job's spans part of the client's distributed trace, otherwise
+        # the job roots a fresh trace.  Either way the finished spans are
+        # kept on the job for ``GET /jobs/<id>/trace``.
+        tracer = (
+            trace.Tracer.from_traceparent(job.traceparent)
+            if job.traceparent is not None
+            else trace.Tracer()
+        )
+        with trace.activate(tracer), trace.span(
+            "job.execute", job_id=job.job_id, fingerprint=job.fingerprint
+        ) as job_span:
+            while True:
+                try:
+                    # The submission path already fingerprinted the pair for
+                    # dedup; hand the digest to the manager so a cache hit
+                    # does not pay for a second canonicalization pass.
+                    result = self.manager.run(
+                        first, second, fingerprint=job.fingerprint
+                    )
+                    result_payload = {
+                        "first": job.name_first,
+                        "second": job.name_second,
+                        **result.to_json(),
+                    }
+                    error_text = None
                     break
-                retries_left -= 1
-                with self._lock:
-                    self.job_retries_performed += 1
-                self._m_job_retries.inc()
-                policy.backoff()
+                except Exception as error:  # noqa: BLE001 - isolate per-job failures
+                    error_text = f"{type(error).__name__}: {error}"
+                    trace.add_event("job.attempt_failed", error=error_text)
+                    if retries_left <= 0:
+                        break
+                    retries_left -= 1
+                    with self._lock:
+                        self.job_retries_performed += 1
+                    self._m_job_retries.inc()
+                    _log.info(
+                        "job retried after checker-level crash",
+                        **fields(
+                            job_id=job.job_id,
+                            error=error_text,
+                            retries_left=retries_left,
+                        ),
+                    )
+                    policy.backoff()
+            job_span.set_attr(
+                "status", "done" if result_payload is not None else "failed"
+            )
+            job_span.set_attr("retries", self.job_retries - retries_left)
         # Settle the job: every field a reader can observe changes under the
         # lock, in one critical section — a concurrent ``job_status`` sees
         # either the running job or the fully settled one, never a torn
         # status/result/timestamp combination.
+        spans = tracer.export()
+        self._m_trace_spans.inc(len(spans))
         with self._lock:
             if result_payload is not None:
                 job.result = result_payload
@@ -502,6 +565,8 @@ class VerificationService:
                 job.error = error_text
                 job.status = "failed"
                 self.failed += 1
+            job.trace_id = tracer.trace_id
+            job.trace = spans
             job.finished_at = time.time()
             self._active -= 1
             self._m_settled.inc(status=job.status)
@@ -632,6 +697,38 @@ class VerificationService:
         raise ServiceError(
             f"job {job_id!r} settled as {status!r} but was pruned and its verdict "
             "is no longer cached; resubmit the pair",
+            status=410,
+        )
+
+    def job_trace(self, job_id: str) -> dict:
+        """The span tree of a settled job (``GET /jobs/<id>/trace``).
+
+        Raises 409 while the job is still queued or running, 410 for a
+        pruned job (traces are not retained past the job table) and 404
+        for a job id this server never issued.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                if job.status in ("queued", "running"):
+                    raise ServiceError(
+                        f"job {job_id!r} is still {job.status}; its trace is "
+                        "available once it settles",
+                        status=409,
+                    )
+                return {
+                    "job_id": job.job_id,
+                    "trace_id": job.trace_id,
+                    "traceparent": job.traceparent,
+                    "spans": len(job.trace),
+                    "tree": trace.span_tree(job.trace),
+                }
+            pruned = self._pruned.get(job_id)
+        if pruned is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        raise ServiceError(
+            f"job {job_id!r} was pruned from the job table; its trace is no "
+            "longer retained",
             status=410,
         )
 
@@ -792,6 +889,11 @@ class VerificationService:
                         cache_stats.get("journal") if cache_stats is not None else None
                     ),
                 },
+                "telemetry": (
+                    self.manager.telemetry.statistics()
+                    if self.manager.telemetry is not None
+                    else None
+                ),
             }
 
     def shutdown(self, wait: bool = True) -> None:
@@ -820,10 +922,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # dropped instead of pinning a handler thread forever.
     timeout = 30.0
 
-    # Silence the default per-request stderr logging; a service wrapper that
-    # wants access logs can override this attribute on the server class.
+    # Replace the default per-request stderr logging with structured access
+    # logs — silent unless ``configure_logging`` installed a handler.
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
+
+    def log_request(self, code: object = "-", size: object = "-") -> None:
+        _log.info(
+            "http access",
+            **fields(
+                method=getattr(self, "command", None),
+                path=getattr(self, "path", None),
+                status=getattr(code, "value", code),
+                client=self.client_address[0] if self.client_address else None,
+            ),
+        )
 
     @property
     def service(self) -> VerificationService:
@@ -902,6 +1015,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 if wait > 0:
                     self.service.wait_settled(parts[1], wait)
                 return 200, self.service.job_result(parts[1])
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+                return 200, self.service.job_trace(parts[1])
             raise ServiceError(f"unknown endpoint {self.path!r}", status=404)
 
         self._handle(handler)
@@ -934,7 +1049,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 raise ServiceError(
                     "body must be {'first': <qasm>, 'second': <qasm>}", status=400
                 )
-            return 202, self.service.submit_qasm(first, second)
+            return 202, self.service.submit_qasm(
+                first, second, traceparent=self.headers.get("Traceparent")
+            )
 
         self._handle(handler)
 

@@ -1,0 +1,111 @@
+"""Unit tests for the structured JSON logging layer (repro.obs.logs)."""
+
+import io
+import json
+import logging
+
+from repro.obs import trace
+from repro.obs.logs import configure_logging, fields, get_logger
+
+
+def _reset_logging():
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestConfigureLogging:
+    def teardown_method(self):
+        _reset_logging()
+
+    def _capture(self, level="info"):
+        stream = io.StringIO()
+        configure_logging(level=level, stream=stream)
+        return stream
+
+    def test_lines_are_json_with_fields(self):
+        stream = self._capture()
+        get_logger("test.module").info("hello", **fields(key="value", n=3))
+        (line,) = stream.getvalue().splitlines()
+        payload = json.loads(line)
+        assert payload["message"] == "hello"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test.module"
+        assert payload["key"] == "value"
+        assert payload["n"] == 3
+        assert "ts" in payload
+
+    def test_trace_correlation(self):
+        stream = self._capture()
+        tracer = trace.Tracer()
+        with trace.activate(tracer):
+            with trace.span("logging") as span:
+                get_logger("test.corr").info("inside span")
+        payload = json.loads(stream.getvalue().splitlines()[0])
+        assert payload["trace_id"] == tracer.trace_id
+        assert payload["span_id"] == span.span_id
+
+    def test_no_correlation_outside_span(self):
+        stream = self._capture()
+        get_logger("test.nocorr").info("outside")
+        payload = json.loads(stream.getvalue().splitlines()[0])
+        assert "trace_id" not in payload
+
+    def test_level_filtering(self):
+        stream = self._capture(level="warning")
+        logger = get_logger("test.level")
+        logger.info("suppressed")
+        logger.warning("emitted")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["message"] == "emitted"
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(stream=first)
+        configure_logging(stream=second)
+        get_logger("test.swap").info("where")
+        assert first.getvalue() == ""
+        assert second.getvalue() != ""
+
+    def test_log_file(self, tmp_path):
+        path = tmp_path / "run.log"
+        configure_logging(level="info", path=str(path))
+        get_logger("test.file").info("to disk")
+        payload = json.loads(path.read_text(encoding="utf-8").splitlines()[0])
+        assert payload["message"] == "to disk"
+
+    def test_unknown_level_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+    def test_exception_rendering(self):
+        stream = self._capture()
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError:
+            get_logger("test.exc").exception("failed")
+        payload = json.loads(stream.getvalue().splitlines()[0])
+        assert "kaboom" in payload["exception"]
+
+
+class TestLibraryQuiet:
+    def test_no_output_without_configuration(self, capsys):
+        _reset_logging()
+        logging.getLogger("repro").propagate = False
+        try:
+            get_logger("test.quiet").info("should vanish")
+        finally:
+            logging.getLogger("repro").propagate = True
+        captured = capsys.readouterr()
+        assert "should vanish" not in captured.err
+
+    def test_get_logger_prefixes_names(self):
+        assert get_logger("core.manager").name == "repro.core.manager"
+        assert get_logger("repro.service").name == "repro.service"

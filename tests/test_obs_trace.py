@@ -1,0 +1,183 @@
+"""Unit tests for the tracing core (repro.obs.trace)."""
+
+import contextvars
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+class TestTraceparent:
+    def test_format_and_parse_round_trip(self):
+        tracer = trace.Tracer()
+        header = tracer.traceparent
+        parsed = trace.parse_traceparent(header)
+        assert parsed is not None
+        trace_id, span_id = parsed
+        assert trace_id == tracer.trace_id
+
+    def test_parse_rejects_garbage(self):
+        assert trace.parse_traceparent("nonsense") is None
+        assert trace.parse_traceparent("") is None
+        assert trace.parse_traceparent("00-zz-yy-01") is None
+
+    def test_parse_rejects_all_zero_ids(self):
+        zeros = "00-" + "0" * 32 + "-" + "0" * 16 + "-01"
+        assert trace.parse_traceparent(zeros) is None
+
+    def test_from_traceparent_continues_trace(self):
+        parent = trace.Tracer()
+        header = parent.traceparent
+        child = trace.Tracer.from_traceparent(header)
+        assert child.trace_id == parent.trace_id
+
+
+class TestSpans:
+    def test_spans_nest_under_active_scope(self):
+        tracer = trace.Tracer()
+        with trace.activate(tracer):
+            with trace.span("outer") as outer:
+                with trace.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+        spans = tracer.export()
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert spans[0]["parent_id"] == spans[1]["span_id"]
+        assert all(s["trace_id"] == tracer.trace_id for s in spans)
+
+    def test_span_without_scope_is_noop(self):
+        with trace.span("orphan") as span:
+            span.set_attr("key", "value")  # must not raise
+            span.add_event("event")
+        assert span.span_id is None
+
+    def test_activate_none_is_noop(self):
+        with trace.activate(None):
+            with trace.span("inside") as span:
+                assert span.span_id is None
+
+    def test_exception_marks_span_error(self):
+        tracer = trace.Tracer()
+        with pytest.raises(ValueError):
+            with trace.activate(tracer):
+                with trace.span("failing"):
+                    raise ValueError("boom")
+        (span,) = tracer.export()
+        assert span["status"] == "error"
+        assert "boom" in span["attrs"]["error"]
+
+    def test_attrs_and_events_recorded(self):
+        tracer = trace.Tracer()
+        with trace.activate(tracer):
+            with trace.span("work", kind="test") as span:
+                span.set_attr("extra", 1)
+                trace.add_event("milestone", detail="yes")
+        (payload,) = tracer.export()
+        assert payload["attrs"]["kind"] == "test"
+        assert payload["attrs"]["extra"] == 1
+        assert payload["events"][0]["name"] == "milestone"
+
+    def test_durations_are_measured(self):
+        tracer = trace.Tracer()
+        with trace.activate(tracer):
+            with trace.span("timed"):
+                pass
+        (payload,) = tracer.export()
+        assert payload["duration"] >= 0.0
+
+    def test_current_traceparent_inside_span(self):
+        tracer = trace.Tracer()
+        assert trace.current_traceparent() is None
+        with trace.activate(tracer):
+            with trace.span("active") as span:
+                header = trace.current_traceparent()
+        parsed = trace.parse_traceparent(header)
+        assert parsed == (tracer.trace_id, span.span_id)
+
+    def test_max_spans_bound(self):
+        tracer = trace.Tracer(max_spans=2)
+        with trace.activate(tracer):
+            for index in range(5):
+                with trace.span(f"s{index}"):
+                    pass
+        assert len(tracer.export()) == 2
+        assert tracer.dropped == 3
+
+    def test_context_propagates_to_pool_threads_via_copy_context(self):
+        tracer = trace.Tracer()
+        results = {}
+
+        def worker():
+            with trace.span("threaded") as span:
+                results["parent"] = span.parent_id
+
+        with trace.activate(tracer):
+            with trace.span("main") as outer:
+                context = contextvars.copy_context()
+                thread = threading.Thread(target=context.run, args=(worker,))
+                thread.start()
+                thread.join()
+        assert results["parent"] == outer.span_id
+
+
+class TestAdoptAndExport:
+    def test_adopt_transports_worker_spans(self):
+        parent = trace.Tracer()
+        worker = trace.Tracer.from_traceparent(parent.traceparent)
+        with trace.activate(worker):
+            with trace.span("remote"):
+                pass
+        parent.adopt(worker.export())
+        (payload,) = parent.export()
+        assert payload["name"] == "remote"
+        assert payload["trace_id"] == parent.trace_id
+
+    def test_adopt_skips_malformed_payloads(self):
+        tracer = trace.Tracer()
+        tracer.adopt([{"not": "a span"}, 42, None])
+        assert tracer.export() == []
+
+    def test_span_tree_nesting(self):
+        tracer = trace.Tracer()
+        with trace.activate(tracer):
+            with trace.span("root"):
+                with trace.span("child_a"):
+                    pass
+                with trace.span("child_b"):
+                    pass
+        (root,) = trace.span_tree(tracer.export())
+        assert root["name"] == "root"
+        assert [child["name"] for child in root["children"]] == ["child_a", "child_b"]
+
+    def test_unknown_parent_becomes_root(self):
+        spans = [
+            {
+                "name": "orphan",
+                "trace_id": "t",
+                "span_id": "a",
+                "parent_id": "missing",
+                "start": 1.0,
+            }
+        ]
+        roots = trace.span_tree(spans)
+        assert [r["name"] for r in roots] == ["orphan"]
+
+    def test_export_chrome_structure(self):
+        tracer = trace.Tracer()
+        with trace.activate(tracer):
+            with trace.span("event", label="x"):
+                pass
+        chrome = tracer.export_chrome()
+        (event,) = chrome["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "event"
+        assert event["args"]["label"] == "x"
+        assert chrome["otherData"]["trace_id"] == tracer.trace_id
+
+    def test_on_finish_callback(self):
+        seen = []
+        tracer = trace.Tracer(on_finish=lambda span: seen.append(span.name))
+        with trace.activate(tracer):
+            with trace.span("watched"):
+                pass
+        assert seen == ["watched"]

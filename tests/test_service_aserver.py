@@ -116,9 +116,9 @@ class TestLongPoll:
         calls = []
         original = client._request
 
-        def counting(method, path, payload=None, timeout=None):
+        def counting(method, path, payload=None, timeout=None, headers=None):
             calls.append((method, path))
-            return original(method, path, payload, timeout)
+            return original(method, path, payload, timeout, headers=headers)
 
         monkeypatch.setattr(client, "_request", counting)
         payload = client.verify(first, second, timeout=30.0)
